@@ -1,0 +1,27 @@
+"""Table 1: taxonomy of hardware synchronization approaches.
+
+Regenerates the paper's related-work comparison table and checks its
+headline claims: only MSA/OMU covers all three primitives with direct
+notification, no dedicated network, O(N_core) state, and hardware
+overflow handling.
+"""
+
+from repro.harness.experiments import table1
+from repro.harness.related_work import RELATED_WORK, supports_all_three
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1(print_out=True), rounds=1, iterations=1
+    )
+    assert len(rows) == 13
+    ours = [s for s in RELATED_WORK if "MSA/OMU" in s.name]
+    assert len(ours) == 1 and supports_all_three(ours[0])
+    assert sum(supports_all_three(s) for s in RELATED_WORK) == 1
+    assert ours[0].notification == "direct"
+    assert not ours[0].dedicated_network
+    assert ours[0].overflow == "HW"
+    # No prior barrier accelerator handles resource overflow.
+    for scheme in RELATED_WORK:
+        if scheme.primitives == ("barrier",):
+            assert scheme.overflow in ("Stall", "None")

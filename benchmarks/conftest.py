@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures on a
+scaled-down grid (16 cores by default, plus 64 cores where the paper's
+claim is specifically about 64-core behaviour).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_FULL=1`` to run the paper-sized grid (16 and 64
+cores, full workload scale) -- slower but closer to the published
+numbers.  The printed tables are the deliverable; the benchmark timings
+just record how long each experiment takes to regenerate.
+"""
+
+import os
+
+import pytest
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: (core counts, workload scale) for the default and full grids.
+CORES = (16, 64) if FULL else (16,)
+SCALE = 1.0 if FULL else 0.4
+
+
+@pytest.fixture(scope="session")
+def bench_cores():
+    return CORES
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE

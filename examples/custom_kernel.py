@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Writing your own workload kernel and comparing configurations.
+
+A tiny pipelined wavefront: each thread owns a row and may only start
+row segment ``k`` after its upstream neighbor finished segment ``k``
+(signaled through a condition variable), with a barrier per sweep --
+the kind of producer-chain synchronization real stencil pipelines use.
+
+    python examples/custom_kernel.py
+"""
+
+from repro.harness import build_machine, run_workload
+from repro.workloads.base import Workload
+
+N_THREADS = 8
+SEGMENTS = 6
+SEGMENT_COMPUTE = 300
+
+
+def make_threads(env):
+    lock = env.allocator.sync_var()
+    cond = env.allocator.sync_var()
+    progress = [env.allocator.line() for _ in range(N_THREADS)]
+    done = env.shared.setdefault("done", [0])
+
+    def mkbody(i):
+        def body(th):
+            for k in range(SEGMENTS):
+                if i > 0:
+                    # Wait until the upstream row finished segment k.
+                    yield from th.lock(lock)
+                    while True:
+                        v = yield from th.load(progress[i - 1])
+                        if v > k:
+                            break
+                        yield from th.cond_wait(cond, lock)
+                    yield from th.unlock(lock)
+                yield from th.compute(SEGMENT_COMPUTE)
+                yield from th.lock(lock)
+                yield from th.store(progress[i], k + 1)
+                yield from th.cond_broadcast(cond)
+                yield from th.unlock(lock)
+            done[0] += 1
+        return body
+
+    return [mkbody(i) for i in range(N_THREADS)]
+
+
+def validate(env):
+    env.expect(env.shared["done"][0] == N_THREADS, "wavefront incomplete")
+    for i, addr in enumerate(env.shared.get("progress", [])):
+        env.expect(
+            env.machine.memory.peek(addr) == SEGMENTS, f"row {i} unfinished"
+        )
+
+
+def main():
+    workload = Workload(
+        name="wavefront",
+        n_threads=N_THREADS,
+        make_threads=make_threads,
+        validate_fn=validate,
+    )
+    print(f"{'config':<12} {'cycles':>8} {'speedup':>8}")
+    baseline = None
+    for config in ("pthread", "mcs-tour", "msa0", "msa-omu-2", "msa-inf", "ideal"):
+        machine = build_machine(config, n_cores=16)
+        result = run_workload(machine, workload, config=config)
+        if baseline is None:
+            baseline = result
+        print(
+            f"{config:<12} {result.cycles:>8} "
+            f"{baseline.cycles / result.cycles:>7.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Thread suspension and migration interacting with the MSA (paper
+sections 4.1.2 / 4.2.2 / 4.3.2).
+
+The scenario: a lock owner is context-switched off its core mid
+critical section and resumed on a *different* core.  Its eventual
+UNLOCK arrives from a core whose HWQueue bit is not set, so the MSA
+replies SUCCESS to the unlocker, ABORTs every hardware waiter (they
+fall back to the software lock), frees the entry, and charges the OMU
+so hardware stays off that lock until the software activity drains.
+
+    python examples/migration.py
+"""
+
+from repro.harness import build_machine
+
+
+def main():
+    machine = build_machine("msa-omu-2", n_cores=16)
+    lock = machine.allocator.sync_var()
+    counter = machine.allocator.line()
+    log = []
+
+    def owner(th):
+        yield from th.lock(lock)
+        log.append(f"[{th.sim.now:>6}] owner acquired lock on core {th.core}")
+        yield from th.compute(4000)  # suspended + migrated in here
+        v = yield from th.load(counter)
+        yield from th.store(counter, v + 1)
+        yield from th.unlock(lock)
+        log.append(f"[{th.sim.now:>6}] owner unlocked from core {th.core}")
+
+    def waiter(th):
+        yield from th.compute(500)
+        yield from th.lock(lock)
+        log.append(
+            f"[{th.sim.now:>6}] waiter on core {th.core} got the lock "
+            "(after ABORT -> software fallback)"
+        )
+        v = yield from th.load(counter)
+        yield from th.store(counter, v + 1)
+        yield from th.unlock(lock)
+
+    t_owner = machine.scheduler.spawn(owner, core=0)
+    for core in (1, 2, 3):
+        machine.scheduler.spawn(waiter, core=core)
+
+    def suspend():
+        log.append(f"[{machine.sim.now:>6}] OS suspends the owner (core 0)")
+        machine.scheduler.suspend(t_owner)
+
+    def resume():
+        log.append(f"[{machine.sim.now:>6}] OS resumes the owner on core 7")
+        machine.scheduler.resume(t_owner, core=7)
+
+    machine.sim.schedule(1000, suspend)
+    machine.sim.schedule(1500, resume)
+    machine.run()
+    machine.check_invariants()
+
+    print("\n".join(log))
+    counters = machine.msa_counters()
+    print(f"\ncounter value            : {machine.memory.peek(counter)} (expected 4)")
+    print(f"migrated-owner unlocks   : {counters.get('migrated_unlocks', 0)}")
+    print(f"waiters ABORTed          : {counters.get('ops_aborted', 0)}")
+    print(f"OMU balance after drain  : {machine.omu_totals()} (expected 0)")
+    assert machine.memory.peek(counter) == 4
+    assert machine.omu_totals() == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Overflow stress: a program that uses far more synchronization
+variables than the MSA has entries, showing how the OMU keeps the
+accelerator useful (and correct) anyway.
+
+Each of 16 threads walks a private sequence over 128 distinct locks
+(8 per home tile against 2 MSA entries per tile).  Without the OMU the
+first locks to touch each slice keep its entries forever and coverage
+collapses; with the OMU entries turn over with the active set.
+
+    python examples/overflow_stress.py
+"""
+
+from repro.harness import build_machine, run_workload
+from repro.workloads.base import Workload
+
+N_THREADS = 16
+LOCKS_PER_TILE = 8
+ROUNDS = 3
+
+
+def make_workload():
+    def make_threads(env):
+        n = env.n_cores
+        locks = [
+            env.allocator.sync_var(home=tile)
+            for tile in range(n)
+            for _ in range(LOCKS_PER_TILE)
+        ]
+        counters = {lock: env.allocator.line() for lock in locks}
+        env.shared["locks"] = locks
+        env.shared["counters"] = counters
+
+        def mkbody(i):
+            def body(th):
+                # Phased walk: at any moment a thread holds one lock and
+                # the per-tile active set stays small, but over the run
+                # every lock gets used by several threads.
+                for r in range(ROUNDS):
+                    for k in range(0, len(locks), N_THREADS):
+                        lock = locks[(k + i) % len(locks)]
+                        yield from th.lock(lock)
+                        v = yield from th.load(counters[lock])
+                        yield from th.compute(30)
+                        yield from th.store(counters[lock], v + 1)
+                        yield from th.unlock(lock)
+                        yield from th.compute(50)
+            return body
+
+        return [mkbody(i) for i in range(N_THREADS)]
+
+    def validate(env):
+        total = sum(env.machine.memory.peek(c) for c in env.shared["counters"].values())
+        expected = N_THREADS * ROUNDS * (len(env.shared["locks"]) // N_THREADS)
+        env.expect(total == expected, f"counter sum {total} != {expected}")
+
+    return Workload(
+        name="overflow_stress",
+        n_threads=N_THREADS,
+        make_threads=make_threads,
+        validate_fn=validate,
+    )
+
+
+def main():
+    print(f"{'config':<16} {'cycles':>8} {'coverage':>9} {'entries alloc':>14}")
+    for config in ("msa-2-no-omu", "msa-omu-2", "msa-omu-2-bloom", "msa-inf"):
+        machine = build_machine(config, n_cores=16)
+        result = run_workload(machine, make_workload(), config=config)
+        cov = f"{100 * result.msa_coverage:.0f}%"
+        allocs = result.msa_counters.get("entries_allocated", 0)
+        print(f"{config:<16} {result.cycles:>8} {cov:>9} {allocs:>14}")
+    print(
+        "\n128 locks vs 32 MSA entries: the OMU recycles entries with the"
+        "\nactive set (high coverage); without it the first 32 locks"
+        "\nmonopolize the accelerator."
+    )
+
+
+if __name__ == "__main__":
+    main()

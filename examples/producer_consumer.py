@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A bounded-buffer pipeline built on the hybrid condition-variable API
+(paper section 4.3): two producers, four consumers, one lock and two
+condition variables (not-empty / not-full).
+
+Demonstrates that the same application code runs unmodified on a
+software-only machine, an MSA-accelerated machine, and an MSA-0 machine
+(ISA present, no accelerator hardware) -- the decoupling argument of
+the paper's ISA design.
+
+    python examples/producer_consumer.py
+"""
+
+from repro.harness import build_machine, run_workload
+from repro.workloads.base import Workload
+
+N_PRODUCERS = 2
+N_CONSUMERS = 4
+ITEMS_PER_PRODUCER = 12
+BUFFER_CAP = 4
+
+
+def make_threads(env):
+    lock = env.allocator.sync_var()
+    not_empty = env.allocator.sync_var()
+    not_full = env.allocator.sync_var()
+    count = env.allocator.line()
+    consumed = env.shared.setdefault("consumed", [])
+    produced = env.shared.setdefault("produced", [0])
+
+    def producer(th):
+        for i in range(ITEMS_PER_PRODUCER):
+            yield from th.compute(80)  # produce an item
+            yield from th.lock(lock)
+            while True:
+                n = yield from th.load(count)
+                if n < BUFFER_CAP:
+                    break
+                yield from th.cond_wait(not_full, lock)
+            yield from th.store(count, n + 1)
+            produced[0] += 1
+            yield from th.cond_signal(not_empty)
+            yield from th.unlock(lock)
+
+    def consumer(th):
+        quota = ITEMS_PER_PRODUCER * N_PRODUCERS // N_CONSUMERS
+        for _ in range(quota):
+            yield from th.lock(lock)
+            while True:
+                n = yield from th.load(count)
+                if n > 0:
+                    break
+                yield from th.cond_wait(not_empty, lock)
+            yield from th.store(count, n - 1)
+            consumed.append(th.sim.now)
+            yield from th.cond_signal(not_full)
+            yield from th.unlock(lock)
+            yield from th.compute(60)  # consume the item
+
+    return [producer] * N_PRODUCERS + [consumer] * N_CONSUMERS
+
+
+def validate(env):
+    total = ITEMS_PER_PRODUCER * N_PRODUCERS
+    env.expect(len(env.shared["consumed"]) == total, "items lost or duplicated")
+    env.expect(env.shared["produced"][0] == total, "production incomplete")
+
+
+def main():
+    workload = Workload(
+        name="producer_consumer",
+        n_threads=N_PRODUCERS + N_CONSUMERS,
+        make_threads=make_threads,
+        validate_fn=validate,
+    )
+    print(f"{'config':<12} {'cycles':>8}  note")
+    for config, note in (
+        ("pthread", "futex condvars in software"),
+        ("msa0", "sync ISA present, always FAILs (library overhead only)"),
+        ("msa-omu-2", "condvars + lock pinning in hardware"),
+        ("ideal", "zero-latency oracle"),
+    ):
+        machine = build_machine(config, n_cores=16)
+        result = run_workload(machine, workload, config=config)
+        print(f"{config:<12} {result.cycles:>8}  {note}")
+    print(f"\nAll {ITEMS_PER_PRODUCER * N_PRODUCERS} items moved through "
+          f"the bounded buffer under every configuration.")
+
+
+if __name__ == "__main__":
+    main()

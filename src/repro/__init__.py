@@ -1,0 +1,40 @@
+"""MiSAR reproduction: minimalistic synchronization accelerator (MSA) with
+resource overflow management (OMU) on a simulated tiled many-core.
+
+The package reproduces the system from Liang & Prvulovic, "MiSAR:
+Minimalistic Synchronization Accelerator with Resource Overflow
+Management" (ISCA 2015).  It provides:
+
+* a discrete-event, cycle-approximate simulator of a tiled many-core chip
+  (:mod:`repro.sim`, :mod:`repro.noc`, :mod:`repro.mem`),
+* the paper's core contribution -- the MSA accelerator slices and the
+  Overflow Management Unit (:mod:`repro.msa`),
+* a thread runtime with the hybrid hardware/software synchronization
+  algorithms of the paper (:mod:`repro.runtime`),
+* workloads and the experiment harness that regenerate every figure and
+  table of the paper's evaluation (:mod:`repro.workloads`,
+  :mod:`repro.harness`).
+
+Quickstart::
+
+    from repro.harness import build_machine, run_workload
+    from repro.workloads.kernels import streamcluster
+
+    machine = build_machine("msa-omu-2", n_cores=16)
+    result = run_workload(machine, streamcluster.make(n_threads=16))
+    print(result.cycles, result.msa_coverage)
+"""
+
+from repro.common.types import SyncResult, SyncType
+from repro.common.params import MachineParams, MSAParams, OMUParams
+
+__all__ = [
+    "SyncResult",
+    "SyncType",
+    "MachineParams",
+    "MSAParams",
+    "OMUParams",
+    "__version__",
+]
+
+__version__ = "1.0.0"

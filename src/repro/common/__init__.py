@@ -1,0 +1,40 @@
+"""Shared types, parameters, statistics, and errors used across the
+simulator, the MSA/OMU model, and the runtime."""
+
+from repro.common.types import SyncResult, SyncType, SyncOp
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    DeadlockError,
+    ProtocolError,
+)
+from repro.common.params import (
+    MachineParams,
+    MSAParams,
+    OMUParams,
+    NocParams,
+    CacheParams,
+    CoreParams,
+)
+from repro.common.stats import StatSet, Counter, Histogram
+
+__all__ = [
+    "SyncResult",
+    "SyncType",
+    "SyncOp",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "DeadlockError",
+    "ProtocolError",
+    "MachineParams",
+    "MSAParams",
+    "OMUParams",
+    "NocParams",
+    "CacheParams",
+    "CoreParams",
+    "StatSet",
+    "Counter",
+    "Histogram",
+]

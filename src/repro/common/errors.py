@@ -1,0 +1,31 @@
+"""Exception hierarchy for the reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine/experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while threads were still blocked."""
+
+    def __init__(self, message: str, blocked: list = None):
+        super().__init__(message)
+        self.blocked = blocked or []
+
+
+class ProtocolError(SimulationError):
+    """A coherence/MSA protocol invariant was violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload misused the runtime API (e.g. unlock of a free lock)."""

@@ -1,0 +1,217 @@
+"""Configuration dataclasses for the simulated machine.
+
+Defaults follow the paper's evaluation setup (section 6): a tiled
+many-core with 2-issue cores, private L1s, a distributed shared L2 that
+is also the coherence home, and a packet-switched 2D-mesh NoC.  Latency
+values are cycle-approximate and chosen to reproduce the relative costs
+that drive the paper's results (L1 hit vs. remote LLC round trip vs.
+hop-proportional NoC latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """2D-mesh network-on-chip parameters."""
+
+    router_latency: int = 2
+    """Cycles spent in each router's pipeline (per hop)."""
+
+    link_latency: int = 1
+    """Cycles to traverse one inter-tile link."""
+
+    flits_per_message: int = 1
+    """Serialization cost: extra cycles a message occupies a link."""
+
+    injection_latency: int = 1
+    """Cycles from NIC injection to first router."""
+
+    def validate(self) -> None:
+        if self.router_latency < 0 or self.link_latency < 0:
+            raise ConfigError("NoC latencies must be non-negative")
+        if self.flits_per_message < 1:
+            raise ConfigError("flits_per_message must be >= 1")
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Private L1 data cache parameters."""
+
+    line_size: int = 64
+    n_sets: int = 64
+    associativity: int = 4
+    hit_latency: int = 2
+    """L1 hit latency (cycles)."""
+
+    def validate(self) -> None:
+        for name in ("line_size", "n_sets", "associativity"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.line_size & (self.line_size - 1):
+            raise ConfigError("line_size must be a power of two")
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigError("n_sets must be a power of two")
+
+
+@dataclass(frozen=True)
+class LLCParams:
+    """Distributed shared last-level cache (one slice per tile)."""
+
+    slice_latency: int = 8
+    """Access latency of an LLC slice (cycles), includes directory."""
+
+    memory_latency: int = 80
+    """Latency to off-chip memory on an LLC miss (cycles)."""
+
+    miss_rate: float = 0.0
+    """Probability an LLC access misses to memory. The synthetic kernels
+    model memory behaviour explicitly, so this stays 0 by default."""
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Core timing parameters."""
+
+    issue_width: int = 2
+    """Modeled only through the per-op costs; kept for documentation."""
+
+    hw_threads: int = 1
+    """Hardware thread contexts per core (SMT).  The paper's HWQueue
+    grows to one bit per hardware thread; requester ids become
+    ``core * hw_threads + slot``.  Threads on one core share its L1 and
+    HWSync bits."""
+
+    sync_fence_latency: int = 3
+    """Pipeline-fence cost of a sync instruction reaching ROB head
+    (the paper notes this stall is 'negligible in most applications')."""
+
+    context_switch_latency: int = 200
+    """OS cost to suspend/resume a thread."""
+
+
+@dataclass(frozen=True)
+class MSAParams:
+    """Minimalistic Synchronization Accelerator configuration.
+
+    ``entries_per_tile`` is the paper's headline knob (1, 2, 4, or
+    ``None`` for MSA-inf).  ``mode`` selects the degenerate variants used
+    in the evaluation.
+    """
+
+    entries_per_tile: Optional[int] = 2
+    """Entries in each tile's MSA slice; ``None`` models MSA-inf."""
+
+    lock_support: bool = True
+    barrier_support: bool = True
+    condvar_support: bool = True
+
+    hwsync_opt: bool = True
+    """HWSync-bit / LOCK_SILENT fast re-acquire optimization (section 5)."""
+
+    msa_access_latency: int = 2
+    """Cycles for an MSA slice to process one request."""
+
+    def validate(self) -> None:
+        if self.entries_per_tile is not None and self.entries_per_tile < 0:
+            raise ConfigError("entries_per_tile must be >= 0 or None")
+
+    @property
+    def is_infinite(self) -> bool:
+        return self.entries_per_tile is None
+
+    def supports(self, sync_type) -> bool:
+        from repro.common.types import SyncType
+
+        return {
+            SyncType.LOCK: self.lock_support,
+            SyncType.BARRIER: self.barrier_support,
+            SyncType.CONDVAR: self.condvar_support,
+        }[sync_type]
+
+
+@dataclass(frozen=True)
+class OMUParams:
+    """Overflow Management Unit configuration.
+
+    The paper evaluates a four-counter OMU per slice; counters are
+    indexed by the synchronization address *without tagging*, so
+    distinct addresses may alias (performance-only effect).
+    """
+
+    n_counters: int = 4
+    counter_bits: int = 8
+    """Saturating width; with <=64 HW threads 8 bits never saturates."""
+
+    use_bloom: bool = False
+    """Use a counting Bloom filter instead of simple indexed counters."""
+
+    bloom_hashes: int = 2
+
+    enabled: bool = True
+    """Disabled models the 'Without OMU' configuration of Figure 7:
+    entries are never reclaimed once the address set exceeds capacity."""
+
+    def validate(self) -> None:
+        if self.n_counters < 1:
+            raise ConfigError("OMU needs at least one counter")
+        if self.counter_bits < 1:
+            raise ConfigError("counter_bits must be >= 1")
+        if self.use_bloom and self.bloom_hashes < 1:
+            raise ConfigError("bloom_hashes must be >= 1")
+
+    @property
+    def counter_max(self) -> int:
+        return (1 << self.counter_bits) - 1
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Complete description of a simulated machine."""
+
+    n_cores: int = 16
+    noc: NocParams = field(default_factory=NocParams)
+    l1: CacheParams = field(default_factory=CacheParams)
+    llc: LLCParams = field(default_factory=LLCParams)
+    core: CoreParams = field(default_factory=CoreParams)
+    msa: Optional[MSAParams] = field(default_factory=MSAParams)
+    """``None`` means no MSA hardware at all (pure-software machines and
+    the MSA-0 machine, which implements the ISA by always failing)."""
+
+    omu: OMUParams = field(default_factory=OMUParams)
+    ideal_sync: bool = False
+    """Zero-latency oracle synchronization (the paper's 'Ideal')."""
+
+    seed: int = 2015
+
+    def validate(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigError("n_cores must be >= 1")
+        side = int(math.isqrt(self.n_cores))
+        if side * side != self.n_cores:
+            raise ConfigError(
+                f"n_cores must be a perfect square for a 2D mesh, "
+                f"got {self.n_cores}"
+            )
+        self.noc.validate()
+        self.l1.validate()
+        if self.core.hw_threads < 1:
+            raise ConfigError("hw_threads must be >= 1")
+        if self.msa is not None:
+            self.msa.validate()
+        self.omu.validate()
+
+    @property
+    def mesh_side(self) -> int:
+        return int(math.isqrt(self.n_cores))
+
+    def with_(self, **changes) -> "MachineParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,164 @@
+"""Lightweight statistics primitives used by every hardware model.
+
+Each component owns a :class:`StatSet`; the harness aggregates them into
+experiment reports.  Keeping these tiny (plain ints/lists) matters: they
+sit on the hot path of the event simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Records samples; reports count/mean/percentiles.
+
+    Stores raw samples -- experiment runs are short enough (at most a few
+    hundred thousand samples) that this is cheaper and more precise than
+    bucketing.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}, n={self.count}, mean={self.mean:.1f})"
+        )
+
+
+class StatSet:
+    """A named collection of counters and histograms.
+
+    Components create their stats once at construction::
+
+        stats = StatSet("msa.tile3")
+        stats.counter("lock_requests")
+        ...
+        stats["lock_requests"].inc()
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def __getitem__(self, name: str):
+        if name in self._counters:
+            return self._counters[name]
+        if name in self._histograms:
+            return self._histograms[name]
+        raise KeyError(f"{self.name} has no stat {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters or name in self._histograms
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {k: c.value for k, c in self._counters.items()}
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for h in self._histograms.values():
+            h.reset()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flattened snapshot, suitable for reports."""
+        snapshot: Dict[str, float] = dict(self.counters)
+        for key, hist in self._histograms.items():
+            snapshot[f"{key}.count"] = hist.count
+            snapshot[f"{key}.mean"] = hist.mean
+            snapshot[f"{key}.max"] = hist.maximum
+        return snapshot
+
+
+def merge_counters(stat_sets: Iterable[StatSet]) -> Dict[str, int]:
+    """Sum same-named counters across a collection of StatSets."""
+    merged: Dict[str, int] = {}
+    for stats in stat_sets:
+        for key, value in stats.counters.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; ignores non-positive values defensively."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,15 @@
+"""Experiment harness: machine configurations matching the paper's
+evaluation (section 6), the workload runner, and the drivers that
+regenerate every figure and table.
+"""
+
+from repro.harness.configs import build_machine, machine_params, CONFIG_NAMES
+from repro.harness.runner import run_workload, RunResult
+
+__all__ = [
+    "build_machine",
+    "machine_params",
+    "CONFIG_NAMES",
+    "run_workload",
+    "RunResult",
+]

@@ -1,0 +1,89 @@
+"""ASCII chart rendering for experiment output.
+
+The paper's figures are bar charts (Figure 5 on a log scale); the
+experiment drivers print tables for precision and these charts for
+shape-at-a-glance.  Pure text, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+BAR_CHARS = "#"
+MAX_WIDTH = 50
+
+
+def hbar_chart(
+    rows: Sequence[Tuple[str, float]],
+    title: str = "",
+    log_scale: bool = False,
+    width: int = MAX_WIDTH,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart.
+
+    ``rows`` are (label, value) pairs; with ``log_scale`` bar lengths
+    follow log10 (the paper's Figure 5 convention).  ``baseline`` draws
+    a ``|`` marker at that value (e.g. speedup == 1.0).
+    """
+    if not rows:
+        return title
+    values = [v for _, v in rows]
+    vmax = max(values)
+    vmin = min(values)
+    label_width = max(len(label) for label, _ in rows)
+
+    def scaled(value: float) -> int:
+        if value <= 0:
+            return 0
+        if log_scale:
+            lo = math.log10(max(min(vmin, value), 1e-9))
+            hi = math.log10(max(vmax, 1e-9))
+            if hi <= lo:
+                return width
+            return max(1, round(width * (math.log10(value) - lo + 0.3) / (hi - lo + 0.3)))
+        return max(1, round(width * value / vmax)) if vmax > 0 else 0
+
+    lines = []
+    if title:
+        lines.append(title)
+    marker_at = scaled(baseline) if baseline is not None else None
+    for label, value in rows:
+        bar_len = scaled(value)
+        bar = BAR_CHARS * bar_len
+        if marker_at is not None and marker_at <= width:
+            padded = list(bar.ljust(max(bar_len, marker_at + 1)))
+            padded[marker_at] = "|"
+            bar = "".join(padded)
+        shown = f"{value:,.0f}" if value >= 100 else f"{value:.2f}"
+        lines.append(f"{label.rjust(label_width)}  {bar} {shown}{unit}")
+    if log_scale:
+        lines.append(f"{'':{label_width}}  (log scale)")
+    return "\n".join(lines)
+
+
+def grouped_chart(
+    groups: Dict[str, Sequence[Tuple[str, float]]],
+    title: str = "",
+    log_scale: bool = False,
+    width: int = MAX_WIDTH,
+    baseline: Optional[float] = None,
+) -> str:
+    """Multiple named bar groups (one per app/probe) sharing a scale."""
+    all_rows: List[Tuple[str, float]] = [
+        row for rows in groups.values() for row in rows
+    ]
+    if not all_rows:
+        return title
+    lines = []
+    if title:
+        lines.append(title)
+    for group_name, rows in groups.items():
+        lines.append(f"-- {group_name}")
+        chart = hbar_chart(
+            list(rows), log_scale=log_scale, width=width, baseline=baseline
+        )
+        lines.append(chart)
+    return "\n".join(lines)

@@ -1,0 +1,385 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver runs the required (config, workload, core-count) grid,
+returns structured results, and can print the same rows/series the
+paper reports.  Run standalone::
+
+    python -m repro.harness.experiments fig6 --cores 16 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import geomean
+from repro.harness.configs import build_machine
+from repro.harness.report import render_table
+from repro.harness.runner import RunResult, run_workload
+from repro.workloads import microbench
+from repro.workloads.kernels import FIGURE_APPS, KERNELS
+
+DEFAULT_CORES = (16, 64)
+
+FIG5_CONFIGS = ("pthread", "msa0", "msa-omu-2", "mcs-tour", "spinlock")
+FIG6_CONFIGS = ("msa0", "mcs-tour", "msa-omu-1", "msa-omu-2", "msa-inf", "ideal")
+FIG9_CONFIGS = ("msa-omu-2", "msa-lockonly-2", "msa-barrieronly-2")
+
+
+def _run(config: str, workload, n_cores: int, seed: int = 2015) -> RunResult:
+    machine = build_machine(config, n_cores=n_cores, seed=seed)
+    return run_workload(machine, workload, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+def table1(print_out: bool = True):
+    from repro.harness.related_work import table1_rows
+
+    rows = table1_rows()
+    if print_out:
+        print(
+            render_table(
+                (
+                    "Work",
+                    "Synchronization Primitives",
+                    "Notification",
+                    "Resource overhead",
+                    "Dedicated Network",
+                    "Resource Overflow",
+                ),
+                rows,
+                title="Table 1: Summary of hardware synchronization approaches",
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: raw synchronization latency
+# ---------------------------------------------------------------------------
+def fig5(
+    cores: Sequence[int] = DEFAULT_CORES,
+    configs: Sequence[str] = FIG5_CONFIGS,
+    print_out: bool = True,
+) -> Dict:
+    """Raw latency (cycles) per probe, config, and core count."""
+    results: Dict[str, Dict] = {}
+    for probe, factory in microbench.MICROBENCHES.items():
+        metric = microbench.METRIC_KEYS[probe]
+        results[probe] = {}
+        for n in cores:
+            for config in configs:
+                run = _run(config, factory(n), n)
+                results[probe][(config, n)] = run.workload_metrics[metric]
+    if print_out:
+        from repro.harness.charts import hbar_chart
+
+        for probe in results:
+            rows = []
+            for config in configs:
+                rows.append(
+                    [config] + [f"{results[probe][(config, n)]:.0f}" for n in cores]
+                )
+            print(
+                render_table(
+                    ["config"] + [f"{n}-core" for n in cores],
+                    rows,
+                    title=f"\nFigure 5 - {probe} (cycles)",
+                )
+            )
+            n = cores[-1]
+            print(
+                hbar_chart(
+                    [(c, results[probe][(c, n)]) for c in configs],
+                    title=f"{probe} @ {n} cores:",
+                    log_scale=True,
+                )
+            )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: application speedup over the pthread baseline
+# ---------------------------------------------------------------------------
+@dataclass
+class SpeedupGrid:
+    apps: List[str]
+    cores: List[int]
+    configs: List[str]
+    speedups: Dict = field(default_factory=dict)  # (app, config, n) -> float
+    coverage: Dict = field(default_factory=dict)
+
+    def geomeans(self) -> Dict:
+        out = {}
+        for config in self.configs:
+            for n in self.cores:
+                out[(config, n)] = geomean(
+                    self.speedups[(app, config, n)] for app in self.apps
+                )
+        return out
+
+
+def fig6(
+    cores: Sequence[int] = DEFAULT_CORES,
+    configs: Sequence[str] = FIG6_CONFIGS,
+    apps: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    print_out: bool = True,
+) -> SpeedupGrid:
+    apps = list(apps or KERNELS.keys())
+    grid = SpeedupGrid(apps=apps, cores=list(cores), configs=list(configs))
+    for app in apps:
+        factory = KERNELS[app]
+        for n in cores:
+            baseline = _run("pthread", factory(n, scale), n)
+            for config in configs:
+                run = _run(config, factory(n, scale), n)
+                grid.speedups[(app, config, n)] = run.speedup_over(baseline)
+                grid.coverage[(app, config, n)] = run.msa_coverage
+    if print_out:
+        shown = [a for a in apps if a in FIGURE_APPS] or apps
+        for n in cores:
+            rows = []
+            for app in shown:
+                rows.append(
+                    [app]
+                    + [f"{grid.speedups[(app, c, n)]:.2f}" for c in configs]
+                )
+            gm = grid.geomeans()
+            rows.append(
+                ["GeoMean(all)"] + [f"{gm[(c, n)]:.2f}" for c in configs]
+            )
+            print(
+                render_table(
+                    ["app"] + list(configs),
+                    rows,
+                    title=f"\nFigure 6 - speedup over pthread, {n} cores",
+                )
+            )
+        from repro.harness.charts import hbar_chart
+
+        n = grid.cores[-1]
+        gm = grid.geomeans()
+        print(
+            hbar_chart(
+                [(c, gm[(c, n)]) for c in configs],
+                title=f"\nsuite geomean speedup @ {n} cores (| marks 1.0x):",
+                baseline=1.0,
+            )
+        )
+    return grid
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: coverage with and without the OMU
+# ---------------------------------------------------------------------------
+def fig7(
+    cores: Sequence[int] = DEFAULT_CORES,
+    entries: Sequence[int] = (1, 2),
+    apps: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    print_out: bool = True,
+) -> Dict:
+    """Percentage of sync operations serviced by the MSA, averaged over
+    the suite, with the OMU vs the never-deallocate baseline."""
+    apps = list(apps or KERNELS.keys())
+    results: Dict = {}
+    for n in cores:
+        for e in entries:
+            for with_omu in (False, True):
+                config = f"msa-omu-{e}" if with_omu else f"msa-{e}-no-omu"
+                covs = []
+                for app in apps:
+                    run = _run(config, KERNELS[app](n, scale), n)
+                    if run.msa_coverage is not None:
+                        covs.append(run.msa_coverage)
+                results[(e, n, with_omu)] = 100.0 * sum(covs) / len(covs)
+    if print_out:
+        rows = []
+        for e in entries:
+            for n in cores:
+                rows.append(
+                    [
+                        f"MSA-{e}",
+                        f"{n}-core",
+                        f"{results[(e, n, False)]:.1f}",
+                        f"{results[(e, n, True)]:.1f}",
+                    ]
+                )
+        print(
+            render_table(
+                ["MSA", "cores", "Without OMU (%)", "With OMU (%)"],
+                rows,
+                title="\nFigure 7 - coverage of synchronization operations",
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: HWSync-bit optimization on fluidanimate
+# ---------------------------------------------------------------------------
+def fig8(
+    cores: Sequence[int] = DEFAULT_CORES, scale: float = 1.0, print_out: bool = True
+) -> Dict:
+    factory = KERNELS["fluidanimate"]
+    results: Dict = {}
+    for n in cores:
+        baseline = _run("pthread", factory(n, scale), n)
+        for config, label in (
+            ("msa-omu-2", "with_opt"),
+            ("msa-omu-2-noopt", "without_opt"),
+        ):
+            run = _run(config, factory(n, scale), n)
+            results[(label, n)] = run.speedup_over(baseline)
+    if print_out:
+        rows = [
+            [f"{n}-core", f"{results[('with_opt', n)]:.3f}",
+             f"{results[('without_opt', n)]:.3f}"]
+            for n in cores
+        ]
+        print(
+            render_table(
+                ["cores", "With Optimization", "Without Optimization"],
+                rows,
+                title="\nFigure 8 - HWSync-bit effect on fluidanimate (speedup)",
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: lock-only / barrier-only MSA support
+# ---------------------------------------------------------------------------
+def fig9(
+    n_cores: int = 64,
+    apps: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    print_out: bool = True,
+) -> Dict:
+    apps = list(apps or KERNELS.keys())
+    results: Dict = {}
+    for app in apps:
+        factory = KERNELS[app]
+        baseline = _run("pthread", factory(n_cores, scale), n_cores)
+        for config in FIG9_CONFIGS:
+            run = _run(config, factory(n_cores, scale), n_cores)
+            results[(app, config)] = run.speedup_over(baseline)
+    for config in FIG9_CONFIGS:
+        results[("GeoMean", config)] = geomean(
+            results[(app, config)] for app in apps
+        )
+    if print_out:
+        shown = [a for a in apps if a in FIGURE_APPS] or apps
+        rows = [
+            [app] + [f"{results[(app, c)]:.2f}" for c in FIG9_CONFIGS]
+            for app in shown + ["GeoMean"]
+        ]
+        print(
+            render_table(
+                ["app"] + list(FIG9_CONFIGS),
+                rows,
+                title=f"\nFigure 9 - type-restricted MSA, {n_cores} cores (speedup)",
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Headline numbers (abstract / section 6 summary)
+# ---------------------------------------------------------------------------
+def headline(n_cores: int = 64, scale: float = 1.0, print_out: bool = True) -> Dict:
+    """The paper's summary claims: coverage of MSA-2 with OMU, mean
+    speedup over pthreads, distance from ideal."""
+    apps = list(KERNELS.keys())
+    speedups, coverages, vs_ideal = [], [], []
+    best = ("", 0.0)
+    for app in apps:
+        factory = KERNELS[app]
+        base = _run("pthread", factory(n_cores, scale), n_cores)
+        msa = _run("msa-omu-2", factory(n_cores, scale), n_cores)
+        ideal = _run("ideal", factory(n_cores, scale), n_cores)
+        s = msa.speedup_over(base)
+        speedups.append(s)
+        if s > best[1]:
+            best = (app, s)
+        if msa.msa_coverage is not None:
+            coverages.append(msa.msa_coverage)
+        vs_ideal.append(ideal.cycles / msa.cycles)
+    out = {
+        "mean_speedup": geomean(speedups),
+        "max_speedup": best[1],
+        "max_speedup_app": best[0],
+        "mean_coverage_pct": 100.0 * sum(coverages) / len(coverages),
+        "mean_fraction_of_ideal": geomean(vs_ideal),
+    }
+    if print_out:
+        print("\nHeadline numbers (paper: 1.43x mean, 7.59x max in "
+              "streamcluster, 93% coverage, within 3% of ideal)")
+        print(f"  mean speedup over pthread : {out['mean_speedup']:.2f}x")
+        print(f"  max speedup               : {out['max_speedup']:.2f}x "
+              f"({out['max_speedup_app']})")
+        print(f"  MSA-2 coverage            : {out['mean_coverage_pct']:.1f}%")
+        print(f"  performance vs ideal      : {100*out['mean_fraction_of_ideal']:.1f}%")
+    return out
+
+
+EXPERIMENTS = {
+    "table1": lambda args: table1(),
+    "fig5": lambda args: fig5(cores=args.cores),
+    "fig6": lambda args: fig6(cores=args.cores, scale=args.scale),
+    "fig7": lambda args: fig7(cores=args.cores, scale=args.scale),
+    "fig8": lambda args: fig8(cores=args.cores, scale=args.scale),
+    "fig9": lambda args: fig9(n_cores=max(args.cores), scale=args.scale),
+    "headline": lambda args: headline(n_cores=max(args.cores), scale=args.scale),
+}
+
+
+def export_fig6_csv(grid: SpeedupGrid, path: str) -> None:
+    """Write a Figure-6 speedup grid as flat CSV rows."""
+    import csv
+
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f, lineterminator="\n")
+        writer.writerow(["app", "config", "n_cores", "speedup", "coverage"])
+        for (app, config, n), speedup in sorted(grid.speedups.items()):
+            coverage = grid.coverage.get((app, config, n))
+            writer.writerow(
+                [
+                    app,
+                    config,
+                    n,
+                    f"{speedup:.4f}",
+                    f"{coverage:.4f}" if coverage is not None else "",
+                ]
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument(
+        "--cores", type=int, nargs="+", default=list(DEFAULT_CORES)
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--csv",
+        default=None,
+        help="for fig6: also write the speedup grid to this CSV path",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name](args)
+        if name == "fig6" and args.csv:
+            export_fig6_csv(result, args.csv)
+            print(f"\nwrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

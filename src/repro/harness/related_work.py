@@ -1,0 +1,75 @@
+"""Table 1: taxonomy of prior hardware synchronization approaches.
+
+The paper's Table 1 is qualitative; we regenerate it from a structured
+registry so the comparison dimensions (primitives, notification style,
+resource overhead, dedicated network, overflow handling) are queryable
+by tests and printed by the bench harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SyncScheme:
+    name: str
+    citation: str
+    primitives: Tuple[str, ...]
+    notification: str  # "direct" | "indirect"
+    resource_overhead: str  # big-O of added hardware state
+    dedicated_network: bool
+    overflow: str  # "SW" | "HW" | "HW/SW" | "Stall" | "None" | "N/A"
+
+
+RELATED_WORK = (
+    SyncScheme("Lock Table", "[9]", ("lock",), "indirect", "O(N_lock)", False, "SW"),
+    SyncScheme("AMO", "[25]", ("lock", "barrier"), "indirect", "0", False, "N/A"),
+    SyncScheme(
+        "Tagged Memory", "[13]", ("lock", "barrier"), "indirect", "O(N_mem)", False, "N/A"
+    ),
+    SyncScheme("QOLB", "[12]", ("lock",), "direct", "O(N_core)", False, "SW"),
+    SyncScheme("SSB", "[26]", ("lock",), "indirect", "O(N_activeLock)", False, "SW"),
+    SyncScheme("LCU", "[23]", ("lock",), "direct", "O(N_core)", False, "HW/SW"),
+    SyncScheme(
+        "barrierFilter", "[21]", ("barrier",), "indirect", "O(N_barrier)", False, "Stall"
+    ),
+    SyncScheme("Lock Cache", "[4]", ("lock",), "direct", "O(N_lock*N_core)", True, "Stall"),
+    SyncScheme("GLocks", "[2]", ("lock",), "direct", "O(N_lock)", True, "None"),
+    SyncScheme(
+        "bitwiseAND/NOR", "[7]", ("barrier",), "direct", "O(N_barrier)", True, "None"
+    ),
+    SyncScheme("GBarrier", "[1]", ("barrier",), "direct", "O(N_barrier)", True, "None"),
+    SyncScheme("TLSync", "[17]", ("barrier",), "direct", "O(N_barrier)", True, "None"),
+    SyncScheme(
+        "MSA/OMU (this work)",
+        "MiSAR",
+        ("lock", "barrier", "condvar"),
+        "direct",
+        "O(N_core)",
+        False,
+        "HW",
+    ),
+)
+
+
+def table1_rows():
+    """Rows in the paper's column order."""
+    rows = []
+    for s in RELATED_WORK:
+        rows.append(
+            (
+                s.name,
+                ", ".join(p.capitalize() for p in s.primitives),
+                s.notification.capitalize(),
+                s.resource_overhead,
+                "Yes" if s.dedicated_network else "No",
+                s.overflow,
+            )
+        )
+    return rows
+
+
+def supports_all_three(scheme: SyncScheme) -> bool:
+    return {"lock", "barrier", "condvar"} <= set(scheme.primitives)

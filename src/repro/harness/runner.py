@@ -1,0 +1,109 @@
+"""Workload runner: spawn a workload's threads on a machine, run to
+completion, collect the metrics the experiments report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.machine import Machine
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one simulation run."""
+
+    config: str
+    workload: str
+    n_cores: int
+    cycles: int
+    msa_coverage: Optional[float]
+    msa_counters: Dict[str, int] = field(default_factory=dict)
+    sync_unit_counters: Dict[str, int] = field(default_factory=dict)
+    noc_counters: Dict[str, int] = field(default_factory=dict)
+    workload_metrics: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Application speedup relative to a baseline run."""
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+    def describe(self) -> str:
+        """Human-readable run summary: headline metrics plus the MSA,
+        instruction, and NoC activity that explains them."""
+        lines = [
+            f"run: {self.workload} on {self.config} "
+            f"({self.n_cores} cores)",
+            f"  cycles               : {self.cycles:,}",
+        ]
+        if self.msa_coverage is not None:
+            lines.append(
+                f"  MSA coverage         : {100 * self.msa_coverage:.1f}%"
+            )
+        issued = {
+            k.split(".", 1)[1]: v
+            for k, v in self.sync_unit_counters.items()
+            if k.startswith("issued.") and v
+        }
+        if issued:
+            ops = ", ".join(f"{k}={v}" for k, v in sorted(issued.items()))
+            lines.append(f"  sync instructions    : {ops}")
+        for key, label in (
+            ("silent_lock_hits", "silent LOCK fast path"),
+            ("silent_unlock_hits", "silent UNLOCK fast path"),
+        ):
+            value = self.sync_unit_counters.get(key, 0)
+            if value:
+                lines.append(f"  {label:<21}: {value}")
+        for key, label in (
+            ("entries_allocated", "MSA entries allocated"),
+            ("omu_steered_sw", "OMU-steered to software"),
+            ("revokes_sent", "HWSync revokes"),
+            ("ops_aborted", "operations ABORTed"),
+        ):
+            value = self.msa_counters.get(key, 0)
+            if value:
+                lines.append(f"  {label:<21}: {value}")
+        sent = self.noc_counters.get("messages_sent", 0)
+        if sent:
+            lines.append(f"  NoC messages         : {sent:,}")
+        for key, value in sorted(self.workload_metrics.items()):
+            lines.append(f"  {key:<21}: {value:,.1f}")
+        return "\n".join(lines)
+
+
+def run_workload(
+    machine: Machine,
+    workload: Workload,
+    max_events: Optional[int] = 50_000_000,
+    check: bool = True,
+    config: str = "",
+) -> RunResult:
+    """Run ``workload`` on ``machine`` to completion.
+
+    With ``check`` (default), the workload's validation hook and the
+    machine's protocol invariants are verified after the run.
+    """
+    env = WorkloadEnv(machine)
+    workload.setup(env)
+    for index, body in enumerate(workload.thread_bodies(env)):
+        machine.scheduler.spawn(body, name=f"{workload.name}.{index}")
+    if workload.controller is not None:
+        machine.sim.process(
+            workload.controller(env), name=f"{workload.name}.controller"
+        )
+    cycles = machine.run(max_events=max_events)
+    if check:
+        machine.check_invariants()
+        workload.validate(env)
+    return RunResult(
+        config=config or machine.library_name,
+        workload=workload.name,
+        n_cores=machine.params.n_cores,
+        cycles=cycles,
+        msa_coverage=machine.msa_coverage(),
+        msa_counters=machine.msa_counters(),
+        sync_unit_counters=machine.sync_unit_counters(),
+        noc_counters=dict(machine.network.stats.counters),
+        workload_metrics=dict(env.metrics),
+    )

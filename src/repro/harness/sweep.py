@@ -1,0 +1,121 @@
+"""Parameter-sweep utilities and CSV export.
+
+Experiments beyond the paper's fixed grids (sensitivity studies, new
+configurations) share the same pattern: run a cartesian grid of
+(config, workload, cores, knobs), collect :class:`RunResult` rows, and
+export them.  :func:`sweep` runs such a grid; :func:`to_csv` writes the
+rows in a flat, spreadsheet-friendly form.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.configs import build_machine
+from repro.harness.runner import RunResult, run_workload
+
+
+@dataclass
+class SweepPoint:
+    """One grid point and its result."""
+
+    config: str
+    workload: str
+    n_cores: int
+    scale: float
+    result: RunResult
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def sweep(
+    configs: Sequence[str],
+    workload_factories: Dict[str, Callable],
+    cores: Sequence[int] = (16,),
+    scale: float = 1.0,
+    seed: int = 2015,
+    machine_hook: Optional[Callable] = None,
+) -> List[SweepPoint]:
+    """Run every (config, workload, cores) combination.
+
+    ``workload_factories`` maps name -> factory(n_threads, scale).
+    ``machine_hook(machine)`` runs after machine construction (for
+    enabling tracing, poking parameters, ...).
+    """
+    points: List[SweepPoint] = []
+    for n in cores:
+        for name, factory in workload_factories.items():
+            for config in configs:
+                machine = build_machine(config, n_cores=n, seed=seed)
+                if machine_hook is not None:
+                    machine_hook(machine)
+                result = run_workload(machine, factory(n, scale), config=config)
+                points.append(
+                    SweepPoint(
+                        config=config,
+                        workload=name,
+                        n_cores=n,
+                        scale=scale,
+                        result=result,
+                    )
+                )
+    return points
+
+
+def add_speedups(points: List[SweepPoint], baseline_config: str) -> None:
+    """Annotate each point with speedup over the same (workload, cores)
+    point of ``baseline_config``."""
+    baselines = {
+        (p.workload, p.n_cores): p.result.cycles
+        for p in points
+        if p.config == baseline_config
+    }
+    for p in points:
+        base = baselines.get((p.workload, p.n_cores))
+        if base:
+            p.extras["speedup"] = base / p.result.cycles
+
+
+CSV_COLUMNS = (
+    "config",
+    "workload",
+    "n_cores",
+    "scale",
+    "cycles",
+    "msa_coverage",
+    "speedup",
+)
+
+
+def to_csv(points: Iterable[SweepPoint], path: Optional[str] = None) -> str:
+    """Serialize sweep points to CSV; returns the text (and writes to
+    ``path`` when given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for p in points:
+        coverage = p.result.msa_coverage
+        writer.writerow(
+            [
+                p.config,
+                p.workload,
+                p.n_cores,
+                p.scale,
+                p.result.cycles,
+                f"{coverage:.4f}" if coverage is not None else "",
+                f"{p.extras['speedup']:.4f}" if "speedup" in p.extras else "",
+            ]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w") as f:
+            f.write(text)
+    return text
+
+
+def from_csv(text: str) -> List[Dict[str, str]]:
+    """Parse a sweep CSV back into row dicts (round-trip helper)."""
+    reader = csv.DictReader(io.StringIO(text))
+    return list(reader)

@@ -1,0 +1,144 @@
+"""Machine assembly: one object owning the simulator, NoC, memory
+hierarchy, MSA slices, sync units, scheduler, and runtime services.
+
+Build one with :class:`MachineParams` plus a synchronization
+configuration (which sync unit mode and which library), or more
+conveniently through :func:`repro.harness.configs.build_machine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.params import MachineParams
+from repro.common.stats import merge_counters
+from repro.mem.address import AddressAllocator
+from repro.mem.memsys import MemoryFabric, MemorySystem
+from repro.msa.ideal import IdealSyncOracle
+from repro.msa.isa import MODE_ALWAYS_FAIL, MODE_HW, MODE_IDEAL, SyncUnit
+from repro.msa.slice import MSASlice
+from repro.noc.network import Network
+from repro.runtime.futex import FutexService
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.swsync.registry import SwStateRegistry
+from repro.runtime.syncapi import make_library
+from repro.sim.kernel import Simulator
+from repro.sim.rng import DeterministicRng
+
+
+class Machine:
+    """A fully wired simulated tiled many-core."""
+
+    def __init__(self, params: MachineParams, library: str = "hybrid"):
+        params.validate()
+        self.params = params
+        self.library_name = library
+        self.sim = Simulator()
+        from repro.sim.trace import Tracer
+
+        self.tracer = Tracer(self.sim)
+        self.rng = DeterministicRng(params.seed, "machine")
+        self.network = Network(self.sim, params.n_cores, params.noc)
+        self.memory = MemoryFabric(self.sim, self.network, params)
+        self.allocator = AddressAllocator(self.memory.amap)
+        self.futex = FutexService(self.sim)
+        self.sw_state = SwStateRegistry(self.allocator)
+
+        line_shift = params.l1.line_size.bit_length() - 1
+        self.ideal_oracle: Optional[IdealSyncOracle] = None
+        self.msa_slices: List[MSASlice] = []
+
+        if params.ideal_sync:
+            mode = MODE_IDEAL
+            self.ideal_oracle = IdealSyncOracle(self.sim)
+        elif params.msa is None:
+            mode = MODE_ALWAYS_FAIL
+        else:
+            mode = MODE_HW
+            self.msa_slices = [
+                MSASlice(
+                    self.sim,
+                    self.network,
+                    tile,
+                    params.msa,
+                    params.omu,
+                    self.memory.amap.home_of,
+                    line_shift,
+                    tracer=self.tracer,
+                    hw_threads=params.core.hw_threads,
+                )
+                for tile in range(params.n_cores)
+            ]
+        self.sync_mode = mode
+        self.sync_units: List[SyncUnit] = [
+            SyncUnit(
+                self.sim,
+                self.network,
+                core,
+                params.core,
+                params.msa,
+                self.memory.amap.home_of,
+                mode=mode,
+                ideal_oracle=self.ideal_oracle,
+            )
+            for core in range(params.n_cores)
+        ]
+        self.scheduler = Scheduler(self)
+        self.sync_library = make_library(library, self)
+        if library == "hybrid" and mode not in (
+            MODE_HW,
+            MODE_ALWAYS_FAIL,
+            MODE_IDEAL,
+        ):
+            raise ConfigError(f"hybrid library incompatible with mode {mode}")
+
+    # ------------------------------------------------------------------
+    # Component accessors used by the runtime
+    # ------------------------------------------------------------------
+    def memory_system(self, core: int) -> MemorySystem:
+        return self.memory.memory_system(core)
+
+    def sync_unit(self, core: int) -> SyncUnit:
+        return self.sync_units[core]
+
+    def msa_slice(self, tile: int) -> MSASlice:
+        return self.msa_slices[tile]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None, until: Optional[int] = None) -> int:
+        """Drain the simulation; raises DeadlockError if threads hang."""
+        cycles = self.sim.run(until=until, max_events=max_events)
+        if until is None:
+            self.scheduler.check_for_deadlock()
+        return cycles
+
+    def check_invariants(self) -> None:
+        self.memory.check_invariants()
+        for msa in self.msa_slices:
+            msa.check_invariants()
+
+    # ------------------------------------------------------------------
+    # Aggregated statistics
+    # ------------------------------------------------------------------
+    def msa_counters(self) -> Dict[str, int]:
+        return merge_counters(s.stats for s in self.msa_slices)
+
+    def sync_unit_counters(self) -> Dict[str, int]:
+        return merge_counters(u.stats for u in self.sync_units)
+
+    def msa_coverage(self) -> Optional[float]:
+        """Fraction of synchronization operations serviced in hardware
+        (the paper's Figure 7 metric).  None when no MSA is present."""
+        if not self.msa_slices:
+            return None
+        counters = self.msa_counters()
+        hw = counters.get("ops_hw", 0)
+        sw = counters.get("ops_sw", 0) + counters.get("ops_aborted", 0)
+        total = hw + sw
+        return hw / total if total else None
+
+    def omu_totals(self) -> int:
+        return sum(s.omu.total for s in self.msa_slices)

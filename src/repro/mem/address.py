@@ -1,0 +1,85 @@
+"""Address mapping: cache lines, home tiles, and workload address
+allocation.
+
+The LLC (and therefore the coherence directory *and* the MSA slice
+responsible for a synchronization address) is distributed by cache-line
+address: ``home = line_number % n_tiles``, the standard static
+line-interleaved mapping for tiled CMPs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.types import Address, TileId
+
+
+class AddressMap:
+    """Line/home arithmetic shared by caches, directories, and the MSA."""
+
+    def __init__(self, n_tiles: int, line_size: int = 64):
+        if line_size & (line_size - 1):
+            raise ConfigError("line_size must be a power of two")
+        self.n_tiles = n_tiles
+        self.line_size = line_size
+        self._line_shift = line_size.bit_length() - 1
+
+    def line_of(self, addr: Address) -> int:
+        return addr >> self._line_shift
+
+    def line_base(self, addr: Address) -> Address:
+        return (addr >> self._line_shift) << self._line_shift
+
+    def home_of(self, addr: Address) -> TileId:
+        """The tile owning the LLC/directory/MSA slice for ``addr``."""
+        return self.line_of(addr) % self.n_tiles
+
+    def home_of_line(self, line: int) -> TileId:
+        return line % self.n_tiles
+
+    def addr_with_home(self, home: TileId, index: int = 0) -> Address:
+        """An address whose home is ``home``; ``index`` selects distinct
+        lines with the same home (used by workload allocators)."""
+        line = home + index * self.n_tiles
+        return line << self._line_shift
+
+
+class AddressAllocator:
+    """Hands out non-overlapping addresses for workload data.
+
+    Synchronization variables are placed one-per-line (no false sharing,
+    matching how real benchmarks pad pthread objects), optionally pinned
+    to a chosen home tile.  Plain data is allocated line-granular too.
+    """
+
+    def __init__(self, amap: AddressMap, base_line: int = 1 << 20):
+        self.amap = amap
+        self._next_line = base_line
+        self._next_home_index = {}
+
+    def line(self) -> Address:
+        """A fresh cache-line-aligned address."""
+        addr = self._next_line << (self.amap.line_size.bit_length() - 1)
+        self._next_line += 1
+        return addr
+
+    def sync_var(self, home: Optional[TileId] = None) -> Address:
+        """A fresh one-per-line synchronization address.
+
+        With ``home`` given, the address maps to that tile (lets tests
+        and workloads control MSA-slice placement and contention).
+        """
+        if home is None:
+            return self.line()
+        if not 0 <= home < self.amap.n_tiles:
+            raise ConfigError(f"home {home} out of range")
+        index = self._next_home_index.get(home, self.amap.n_tiles)
+        self._next_home_index[home] = index + 1
+        # Keep homed addresses out of the generic allocation range.
+        return self.amap.addr_with_home(home, index + (1 << 22))
+
+    def array(self, n_lines: int) -> Iterator[Address]:
+        """``n_lines`` consecutive fresh line addresses."""
+        for _ in range(n_lines):
+            yield self.line()

@@ -1,0 +1,254 @@
+"""Private L1 data cache with MESI states.
+
+The cache serves its core's loads/stores/atomics and responds to
+directory-initiated invalidations and forwards.  Values live in the
+machine-wide backing store (see :mod:`repro.mem`); a memory operation
+reads/writes that store at its completion instant, after the protocol
+has granted sufficient permission, which preserves linearizability.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.common.params import CacheParams
+from repro.common.stats import StatSet
+from repro.common.types import CacheState, CoreId
+from repro.noc.message import Message
+from repro.noc.network import Network
+from repro.sim.kernel import Future, Simulator
+
+
+@dataclass
+class _Op:
+    """One in-flight memory operation from the core."""
+
+    kind: str  # "load" | "store" | "rmw"
+    addr: int
+    future: Future
+    value: Optional[int] = None  # store value
+    rmw_fn: Optional[Callable[[int], int]] = None
+    issued_at: int = 0
+
+
+@dataclass
+class _Mshr:
+    """Miss-status holding register: one per in-flight line."""
+
+    line: int
+    want_write: bool
+    ops: Deque[_Op] = field(default_factory=deque)
+
+
+class L1Cache:
+    """One core's private L1 (MESI, set-associative, LRU)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        core_id: CoreId,
+        params: CacheParams,
+        backing_store: Dict[int, int],
+        home_of_line: Callable[[int], int],
+    ):
+        self.sim = sim
+        self.network = network
+        self.core_id = core_id
+        self.params = params
+        self.backing_store = backing_store
+        self.home_of_line = home_of_line
+        self.stats = StatSet(f"l1.{core_id}")
+        # set index -> OrderedDict[line -> CacheState]; most recent last.
+        self._sets: Dict[int, "OrderedDict[int, CacheState]"] = {}
+        self._mshrs: Dict[int, _Mshr] = {}
+        self._set_mask = params.n_sets - 1
+        network.register(core_id, "coh_l1", self._on_message)
+
+    # ------------------------------------------------------------------
+    # Core-facing API
+    # ------------------------------------------------------------------
+    def load(self, addr: int) -> Future:
+        return self._submit(_Op("load", addr, self.sim.future()))
+
+    def store(self, addr: int, value: int) -> Future:
+        return self._submit(_Op("store", addr, self.sim.future(), value=value))
+
+    def rmw(self, addr: int, fn: Callable[[int], int]) -> Future:
+        """Atomic read-modify-write; the future resolves to the *old*
+        value.  Requires write permission, like real atomics."""
+        return self._submit(_Op("rmw", addr, self.sim.future(), rmw_fn=fn))
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def _set_of(self, line: int) -> "OrderedDict[int, CacheState]":
+        index = line & self._set_mask
+        bucket = self._sets.get(index)
+        if bucket is None:
+            bucket = self._sets[index] = OrderedDict()
+        return bucket
+
+    def state_of(self, line: int) -> CacheState:
+        return self._set_of(line).get(line, CacheState.INVALID)
+
+    def _touch(self, line: int) -> None:
+        bucket = self._set_of(line)
+        if line in bucket:
+            bucket.move_to_end(line)
+
+    def _set_state(self, line: int, state: CacheState) -> None:
+        bucket = self._set_of(line)
+        if state is CacheState.INVALID:
+            bucket.pop(line, None)
+        else:
+            bucket[line] = state
+            bucket.move_to_end(line)
+
+    def _sufficient(self, state: CacheState, op: _Op) -> bool:
+        if op.kind == "load":
+            return state.can_read
+        return state.can_write
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+    def _submit(self, op: _Op) -> Future:
+        op.issued_at = self.sim.now
+        self.stats.counter(f"{op.kind}s").inc()
+        self._start(op)
+        return op.future
+
+    def _start(self, op: _Op) -> None:
+        line = op.addr >> (self.params.line_size.bit_length() - 1)
+        state = self.state_of(line)
+        if self._sufficient(state, op):
+            self.stats.counter("hits").inc()
+            self._touch(line)
+            self.sim.schedule(
+                self.params.hit_latency, lambda: self._complete_if_valid(op, line)
+            )
+            return
+        self._miss(op, line)
+
+    def _complete_if_valid(self, op: _Op, line: int) -> None:
+        """Permission may have been revoked during the hit latency
+        (a racing invalidation); re-check and retry if so."""
+        if not self._sufficient(self.state_of(line), op):
+            self.stats.counter("hit_replays").inc()
+            self._start(op)
+            return
+        if op.kind == "store" and self.state_of(line) is CacheState.EXCLUSIVE:
+            self._set_state(line, CacheState.MODIFIED)
+        if op.kind == "rmw" and self.state_of(line) is CacheState.EXCLUSIVE:
+            self._set_state(line, CacheState.MODIFIED)
+        self._perform(op)
+
+    def _perform(self, op: _Op) -> None:
+        """Apply the operation to the backing store and resolve it."""
+        self.stats.histogram(f"{op.kind}_latency").add(self.sim.now - op.issued_at)
+        if op.kind == "load":
+            op.future.complete(self.backing_store.get(op.addr, 0))
+        elif op.kind == "store":
+            self.backing_store[op.addr] = op.value
+            op.future.complete(None)
+        else:  # rmw
+            old = self.backing_store.get(op.addr, 0)
+            self.backing_store[op.addr] = op.rmw_fn(old)
+            op.future.complete(old)
+
+    def _miss(self, op: _Op, line: int) -> None:
+        self.stats.counter("misses").inc()
+        want_write = op.kind != "load"
+        mshr = self._mshrs.get(line)
+        if mshr is not None:
+            # Line transaction already in flight; piggyback.  If this op
+            # needs more permission than requested, it will re-issue an
+            # upgrade after the fill (see _fill).
+            mshr.ops.append(op)
+            return
+        mshr = _Mshr(line=line, want_write=want_write)
+        mshr.ops.append(op)
+        self._mshrs[line] = mshr
+        kind = "coh.getm" if want_write else "coh.gets"
+        self._send_home(line, kind)
+
+    def _send_home(self, line: int, kind: str) -> None:
+        self.network.send(
+            Message(
+                src=self.core_id,
+                dst=self.home_of_line(line),
+                kind=kind,
+                payload={"line": line, "core": self.core_id},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Directory-facing message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        line = msg.payload["line"]
+        if msg.kind == "coh_l1.data_s":
+            self._fill(line, CacheState.SHARED)
+        elif msg.kind == "coh_l1.data_e":
+            self._fill(line, CacheState.EXCLUSIVE)
+        elif msg.kind == "coh_l1.inv":
+            self._set_state(line, CacheState.INVALID)
+            self.stats.counter("invalidations").inc()
+            self._ack_home(line, "coh.inv_ack")
+        elif msg.kind == "coh_l1.fwd_gets":
+            # Downgrade to S; dirty data is already in the backing store.
+            if self.state_of(line).can_write or self.state_of(line).can_read:
+                self._set_state(line, CacheState.SHARED)
+            self._ack_home(line, "coh.fwd_ack")
+        elif msg.kind == "coh_l1.fwd_getm":
+            self._set_state(line, CacheState.INVALID)
+            self.stats.counter("invalidations").inc()
+            self._ack_home(line, "coh.fwd_ack")
+        else:
+            raise ValueError(f"L1 {self.core_id}: unknown message {msg}")
+
+    def _ack_home(self, line: int, kind: str) -> None:
+        self.network.send(
+            Message(
+                src=self.core_id,
+                dst=self.home_of_line(line),
+                kind=kind,
+                payload={"line": line, "core": self.core_id},
+            )
+        )
+
+    def _fill(self, line: int, state: CacheState) -> None:
+        self._evict_for(line)
+        self._set_state(line, state)
+        mshr = self._mshrs.pop(line, None)
+        if mshr is None:
+            return
+        # Ops the fill satisfies are performed *atomically at fill time*:
+        # the requestor must get to use the line it fetched before a
+        # forwarded invalidation can steal it, or two cores contending
+        # for the same line livelock (each steals the other's line
+        # inside its fill-to-use window).  The miss path already charged
+        # the access latency.  Ops needing more permission (store after
+        # an S fill) re-enter the miss path and issue an upgrade.
+        for op in mshr.ops:
+            current = self.state_of(line)
+            if self._sufficient(current, op):
+                if op.kind != "load" and current is CacheState.EXCLUSIVE:
+                    self._set_state(line, CacheState.MODIFIED)
+                self._perform(op)
+            else:
+                self._start(op)
+
+    def _evict_for(self, line: int) -> None:
+        """Make room in the target set, writing back M/E victims."""
+        bucket = self._set_of(line)
+        if line in bucket or len(bucket) < self.params.associativity:
+            return
+        victim, vstate = next(iter(bucket.items()))
+        del bucket[victim]
+        self.stats.counter("evictions").inc()
+        if vstate in (CacheState.MODIFIED, CacheState.EXCLUSIVE):
+            self._send_home(victim, "coh.putm")

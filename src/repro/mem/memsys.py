@@ -1,0 +1,107 @@
+"""Memory-system assembly and the per-core facade.
+
+:class:`MemoryFabric` builds one directory slice per tile and one L1 per
+core over a shared :class:`~repro.noc.network.Network`;
+:class:`MemorySystem` is the handle a core/thread uses to issue memory
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.params import MachineParams
+from repro.common.types import CoreId
+from repro.mem.address import AddressMap
+from repro.mem.directory import DirectorySlice
+from repro.mem.l1 import L1Cache
+from repro.noc.network import Network
+from repro.sim.kernel import Future, Simulator
+
+
+class MemorySystem:
+    """One core's view of memory."""
+
+    def __init__(self, l1: L1Cache):
+        self._l1 = l1
+        self.core_id = l1.core_id
+
+    def load(self, addr: int) -> Future:
+        return self._l1.load(addr)
+
+    def store(self, addr: int, value: int) -> Future:
+        return self._l1.store(addr, value)
+
+    def rmw(self, addr: int, fn: Callable[[int], int]) -> Future:
+        """Atomic read-modify-write; resolves to the old value."""
+        return self._l1.rmw(addr, fn)
+
+    def fetch_add(self, addr: int, delta: int = 1) -> Future:
+        return self._l1.rmw(addr, lambda v: v + delta)
+
+    def test_and_set(self, addr: int) -> Future:
+        """Resolves to the old value (0 means we won the lock word)."""
+        return self._l1.rmw(addr, lambda v: 1)
+
+    def compare_and_swap(self, addr: int, expect: int, new: int) -> Future:
+        """Resolves to the old value; the swap applied iff old == expect."""
+        return self._l1.rmw(addr, lambda v: new if v == expect else v)
+
+
+class MemoryFabric:
+    """All caches, directories, and the backing store of one machine."""
+
+    def __init__(self, sim: Simulator, network: Network, params: MachineParams):
+        self.sim = sim
+        self.network = network
+        self.params = params
+        self.amap = AddressMap(params.n_cores, params.l1.line_size)
+        self.backing_store: Dict[int, int] = {}
+        self.directories: List[DirectorySlice] = [
+            DirectorySlice(sim, network, tile, params.llc)
+            for tile in range(params.n_cores)
+        ]
+        self.l1s: List[L1Cache] = [
+            L1Cache(
+                sim,
+                network,
+                core,
+                params.l1,
+                self.backing_store,
+                self.amap.home_of_line,
+            )
+            for core in range(params.n_cores)
+        ]
+
+    def memory_system(self, core: CoreId) -> MemorySystem:
+        return MemorySystem(self.l1s[core])
+
+    def peek(self, addr: int) -> int:
+        """Read the backing store without any simulated traffic
+        (debug/verification only)."""
+        return self.backing_store.get(addr, 0)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write the backing store directly (workload initialization)."""
+        self.backing_store[addr] = value
+
+    def check_invariants(self) -> None:
+        """MESI safety: at most one owner per line, owner excludes
+        sharers at other cores, directory sharers are a superset of the
+        caches actually holding the line.  Raises on violation."""
+        from repro.common.errors import ProtocolError
+        from repro.common.types import CacheState
+
+        holders: Dict[int, List] = {}
+        for l1 in self.l1s:
+            for bucket in l1._sets.values():
+                for line, state in bucket.items():
+                    holders.setdefault(line, []).append((l1.core_id, state))
+        for line, who in holders.items():
+            writers = [c for c, s in who if s.can_write]
+            if len(writers) > 1:
+                raise ProtocolError(f"line {line}: multiple writers {writers}")
+            if writers and len(who) > 1:
+                raise ProtocolError(
+                    f"line {line}: writer {writers[0]} coexists with {who}"
+                )

@@ -1,0 +1,114 @@
+"""An MSA entry: the hardware record for one active synchronization
+address (paper Figure 1).
+
+The fields mirror the hardware: the synchronization address, the 2-bit
+type, the HWQueue bit-vector (waiting cores, plus the owner for locks),
+the AuxInfo word (barrier goal count / condvar's associated lock / lock
+pin count), and a valid bit (existence of the object).  We add explicit
+bookkeeping the hardware keeps implicitly: per-waiter request ids so
+responses can be matched, and the transient revoke/reserve states of the
+HWSync-bit and condvar-pinning protocols.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.common.types import Address, CoreId, SyncType
+
+
+@dataclass
+class MSAEntry:
+    addr: Address
+    sync_type: SyncType
+
+    # --- HWQueue -------------------------------------------------------
+    owner: Optional[CoreId] = None
+    """Lock owner (locks only); the paper encodes this in HWQueue."""
+
+    waiters: "Dict[CoreId, int]" = field(default_factory=dict)
+    """HWQueue waiting bits -> pending request id (insertion-ordered)."""
+
+    # --- AuxInfo -------------------------------------------------------
+    barrier_goal: int = 0
+    """Barrier entries: the goal count carried by BARRIER requests."""
+
+    pin_count: int = 0
+    """Lock entries: number of condvar entries currently pinning this
+    lock (incremented by UNLOCK&PIN, decremented by LOCK&UNPIN)."""
+
+    cond_lock_addr: Optional[Address] = None
+    """Condvar entries: the associated lock's address."""
+
+    # --- HWSync-bit optimization state ---------------------------------
+    hwsync_core: Optional[CoreId] = None
+    """The core that last successfully completed a hardware lock
+    operation for this address and may hold a valid HWSync-bit cache
+    copy (section 5).  A grant to any other core must revoke it first."""
+
+    last_owner: Optional[CoreId] = None
+    """Reuse predictor state: who owned the lock last.  A grant to the
+    same core sets ``reuse_mode``."""
+
+    reuse_mode: bool = False
+    """Same-core reuse observed: idle unlocks re-arm the releaser's
+    HWSync bit (keeping the entry pinned until a revoke).  Without
+    observed reuse the entry stays instantly evictable across idle
+    periods, so single-use lock addresses never cost a revoke."""
+
+    revoking: bool = False
+    """A revoke round-trip to ``hwsync_core`` is in flight; grants are
+    deferred until the acknowledgment arrives."""
+
+    pending_grant: Optional[CoreId] = None
+    """Core whose grant is deferred behind the in-flight revoke."""
+
+    reclaiming: bool = False
+    """The slice is lazily reclaiming this idle entry (revoke sent to
+    ``hwsync_core`` so the entry can be freed for reuse)."""
+
+    reclaim_waiters: list = field(default_factory=list)
+    """Replay thunks for requests deferred behind this reclamation:
+    they re-enter their handler once the revoke acknowledgment frees
+    (or fails to free) the entry."""
+
+    # --- Condvar reservation (UNLOCK&PIN handshake) --------------------
+    reserved: bool = False
+    """Condvar entries start reserved until the lock home confirms the
+    UNLOCK&PIN; requests arriving meanwhile queue in ``reserve_queue``."""
+
+    reserve_queue: Deque = field(default_factory=deque)
+
+    def hwqueue_empty(self) -> bool:
+        return self.owner is None and not self.waiters
+
+    def evictable(self) -> bool:
+        """Whether the entry may be deallocated right now.  An entry with
+        an outstanding HWSync bit is *not* evictable -- the bit holder
+        could silently re-acquire -- and must be reclaimed via revoke."""
+        return (
+            self.hwqueue_empty()
+            and self.pin_count == 0
+            and not self.revoking
+            and not self.reserved
+            and self.hwsync_core is None
+        )
+
+    def idle_cached(self) -> bool:
+        """Empty except for an outstanding HWSync bit: reclaimable."""
+        return (
+            self.hwqueue_empty()
+            and self.pin_count == 0
+            and not self.revoking
+            and not self.reserved
+            and self.hwsync_core is not None
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MSAEntry({self.sync_type.value}@{self.addr:#x} "
+            f"owner={self.owner} waiters={list(self.waiters)} "
+            f"pins={self.pin_count} hwsync={self.hwsync_core})"
+        )

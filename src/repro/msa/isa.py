@@ -1,0 +1,396 @@
+"""The per-core synchronization instruction unit (the paper's ISA
+extension, section 3).
+
+A core issues one synchronization instruction at a time (each acts as a
+memory fence and executes at ROB head, so the thread blocks on it).  The
+unit:
+
+* sends ``msa.req`` messages to the address's home tile and matches
+  responses by request id;
+* implements the MSA-0 mode (always return FAIL locally, no messages),
+  which is how processors without accelerator hardware support the ISA;
+* implements the HWSync-bit fast path: a LOCK whose address is in the
+  local HWSync residency table completes immediately and only *notifies*
+  the home (LOCK_SILENT), skipping the round trip (section 5);
+* handles SUSPEND squashing when the scheduler interrupts a thread that
+  is blocked on a synchronization instruction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.common.params import CoreParams, MSAParams
+from repro.common.stats import StatSet
+from repro.common.types import Address, CoreId, SyncOp, SyncResult
+from repro.noc.message import Message
+from repro.noc.network import Network
+from repro.sim.kernel import Future, Simulator
+
+
+class _Squashed:
+    """Sentinel result: the instruction was squashed by a suspension and
+    must be re-executed after the thread resumes (locks only)."""
+
+    def __repr__(self) -> str:
+        return "SQUASHED"
+
+
+SQUASHED = _Squashed()
+
+_req_ids = itertools.count(1)
+
+#: Modes of the sync unit.
+MODE_HW = "hw"
+MODE_ALWAYS_FAIL = "always_fail"  # the paper's MSA-0 configuration
+MODE_IDEAL = "ideal"
+
+#: L1-residency budget for HWSync bits: a bit lives only while the lock's
+#: line stays in the (modeled) cache, approximated by an LRU table.
+HWSYNC_TABLE_SIZE = 64
+
+
+class SyncUnit:
+    """One core's synchronization instruction unit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        core_id: CoreId,
+        core_params: CoreParams,
+        msa_params: Optional[MSAParams],
+        home_of: callable,
+        mode: str = MODE_HW,
+        ideal_oracle=None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.core_id = core_id
+        self.core_params = core_params
+        self.msa_params = msa_params
+        self.home_of = home_of
+        self.mode = mode
+        self.ideal_oracle = ideal_oracle
+        self.stats = StatSet(f"sync_unit.{core_id}")
+        self._pending: Dict[int, Future] = {}
+        self._squashed_reqs: set = set()
+        self._detached_reqs: set = set()
+        self._pending_op: Dict[int, SyncOp] = {}
+        self._pending_addr: Dict[int, Address] = {}
+        self._pending_slot: Dict[int, int] = {}
+        self._hwsync: "OrderedDict[Address, bool]" = OrderedDict()
+        """Idle-armed HWSync bits: the lock is idle at the MSA and this
+        core may take it silently.  Consumed *atomically* by the issuing
+        hardware thread, so SMT siblings cannot double-acquire."""
+
+        self._held: Dict[Address, int] = {}
+        """addr -> hardware-thread slot that owns the lock through a
+        hardware grant; enables the guaranteed-hit silent UNLOCK.  With
+        SMT this must be per-slot: only the holder may silently
+        release, and a sibling LOCK must go to the MSA."""
+
+        self._silent_cancelled: Dict[Address, bool] = {}
+        """Flags a pending silent acquire whose bit was revoked during
+        the fence window (the send downgrades to a normal request)."""
+
+        self.current_req: Dict[int, Optional[int]] = {}
+        """Per-hardware-thread-slot request id of the instruction
+        currently blocking that context (one thread per core unless the
+        machine configures SMT)."""
+
+        if mode == MODE_HW:
+            network.register(core_id, "msa_cpu", self._on_message)
+
+    def _requester(self, slot: int) -> int:
+        """The HWQueue bit index for this core's hardware thread
+        ``slot`` (paper section 3: one bit per hardware thread)."""
+        return self.core_id * self.core_params.hw_threads + slot
+
+    # ------------------------------------------------------------------
+    # Issue path
+    # ------------------------------------------------------------------
+    def issue(
+        self, op: SyncOp, addr: Address, aux: int = 0, slot: int = 0
+    ) -> Future:
+        """Execute a synchronization instruction from hardware-thread
+        ``slot``; the future resolves to a :class:`SyncResult` (or
+        ``SQUASHED`` after a suspension)."""
+        future = self.sim.future()
+        self.stats.counter(f"issued.{op.value}").inc()
+        fence = self.core_params.sync_fence_latency
+        requester = self._requester(slot)
+
+        if self.mode == MODE_IDEAL:
+            # Zero-latency oracle synchronization, no fence cost either.
+            self.ideal_oracle.handle(op, addr, aux, requester, future)
+            return future
+
+        if self.mode == MODE_ALWAYS_FAIL:
+            # MSA-0: the instruction is implemented trivially -- it
+            # always FAILs, locally, without sending any message.
+            self.stats.counter("always_fail").inc()
+            future.complete_at(fence, SyncResult.FAIL)
+            return future
+
+        if op is SyncOp.FINISH:
+            # Fire-and-forget OMU notification; completes at the core
+            # as soon as the message is injected.
+            self.sim.schedule(fence, lambda: self._send_finish(addr, future))
+            return future
+
+        if op is SyncOp.UNLOCK:
+            # Disarm any idle-armed bit before the release becomes
+            # visible: after the MSA hands the lock to a waiter, a
+            # silent re-acquire here would break mutual exclusion.  The
+            # MSA re-arms us (response carries ``rearm``) when the lock
+            # stayed idle, which is exactly the same-core re-acquire
+            # case the optimization targets (section 5).
+            self._hwsync.pop(addr, None)
+            holder = self._held.get(addr)
+            if (
+                holder == slot
+                and self.msa_params is not None
+                and self.msa_params.hwsync_opt
+            ):
+                # We hold the lock via a hardware grant, so the MSA
+                # entry exists and this UNLOCK cannot FAIL.  Retire it
+                # immediately (modeling the predicted-SUCCESS
+                # speculation an OoO core applies to the fallback
+                # branch); the request travels as a notification whose
+                # response is only consumed for re-arming.
+                del self._held[addr]
+                self.stats.counter("silent_unlock_hits").inc()
+                req_id = next(_req_ids)
+                self._detached_reqs.add(req_id)
+                self.sim.schedule(
+                    fence,
+                    lambda: self._send_request(
+                        SyncOp.UNLOCK, addr, aux, req_id, requester
+                    ),
+                )
+                future.complete_at(fence, SyncResult.SUCCESS)
+                return future
+            if holder == slot:
+                del self._held[addr]
+        elif op is SyncOp.COND_WAIT:
+            # COND_WAIT releases the associated lock (aux) on our
+            # behalf at the MSA; disarm/unhold it for the same reason.
+            self._hwsync.pop(aux, None)
+            if self._held.get(aux) == slot:
+                del self._held[aux]
+
+        if (
+            op in (SyncOp.LOCK, SyncOp.TRYLOCK)
+            and self.msa_params.hwsync_opt
+            and self._hwsync.pop(addr, None)
+        ):
+            # HWSync fast path: atomically consume the idle-armed bit
+            # (an SMT sibling issuing in the same window must miss it),
+            # complete immediately, and notify the home.
+            self.stats.counter("silent_lock_hits").inc()
+            self._silent_cancelled[addr] = False
+            self._held[addr] = slot
+            self.sim.schedule(
+                fence, lambda: self._send_silent(addr, future, requester, slot)
+            )
+            return future
+
+        req_id = next(_req_ids)
+        self._pending[req_id] = future
+        self._pending_op[req_id] = op
+        self._pending_addr[req_id] = addr
+        self._pending_slot[req_id] = slot
+        self.current_req[slot] = req_id
+        self.sim.schedule(
+            fence, lambda: self._send_request(op, addr, aux, req_id, requester)
+        )
+        return future
+
+    def _send_request(
+        self, op: SyncOp, addr: Address, aux: int, req_id: int, requester: int
+    ) -> None:
+        if req_id in self._squashed_reqs:
+            # Suspended before the fence drained: nothing was sent, and
+            # nothing needs undoing.
+            self._squashed_reqs.discard(req_id)
+            return
+        self.network.send(
+            Message(
+                src=self.core_id,
+                dst=self.home_of(addr),
+                kind="msa.req",
+                payload={
+                    "op": op.value,
+                    "addr": addr,
+                    "aux": aux,
+                    "core": requester,
+                    "req_id": req_id,
+                },
+            )
+        )
+
+    def _send_finish(self, addr: Address, future: Future) -> None:
+        self.network.send(
+            Message(
+                src=self.core_id,
+                dst=self.home_of(addr),
+                kind="msa.finish",
+                payload={"addr": addr, "core": self.core_id},
+            )
+        )
+        future.complete(SyncResult.SUCCESS)
+
+    def _send_silent(
+        self, addr: Address, future: Future, requester: int, slot: int
+    ) -> None:
+        # A revoke may have landed during the fence window; the bit was
+        # already consumed at issue, so the revoke handler flags us.
+        if self._silent_cancelled.pop(addr, False):
+            self.stats.counter("silent_lock_lost_race").inc()
+            if self._held.get(addr) == slot:
+                del self._held[addr]
+            # Fall back to a normal LOCK round trip.
+            req_id = next(_req_ids)
+            self._pending[req_id] = future
+            self._pending_op[req_id] = SyncOp.LOCK
+            self._pending_addr[req_id] = addr
+            self._pending_slot[req_id] = slot
+            self.current_req[slot] = req_id
+            self._send_request(SyncOp.LOCK, addr, 0, req_id, requester)
+            return
+        self.network.send(
+            Message(
+                src=self.core_id,
+                dst=self.home_of(addr),
+                kind="msa.silent",
+                payload={"addr": addr, "core": requester},
+            )
+        )
+        future.complete(SyncResult.SUCCESS)
+
+    # ------------------------------------------------------------------
+    # Suspension (scheduler-driven)
+    # ------------------------------------------------------------------
+    def suspend_current(self, slot: int = 0) -> bool:
+        """Interrupt the instruction currently blocking hardware thread
+        ``slot`` of this core.
+
+        Locks are squashed locally (the future resolves to ``SQUASHED``
+        and the runtime re-executes after resume); barriers and condvars
+        complete with the ABORT the MSA sends back.  Returns False when
+        no instruction is blocking (nothing to do).
+        """
+        req_id = self.current_req.get(slot)
+        if req_id is None or req_id not in self._pending:
+            return False
+        op = self._pending_op[req_id]
+        addr = self._pending_addr[req_id]
+        self.network.send(
+            Message(
+                src=self.core_id,
+                dst=self.home_of(addr),
+                kind="msa.suspend",
+                payload={
+                    "addr": addr,
+                    "core": self._requester(slot),
+                    "op": op.value,
+                },
+            )
+        )
+        self.stats.counter("suspends_sent").inc()
+        if op in (SyncOp.LOCK, SyncOp.TRYLOCK):
+            future = self._pending.pop(req_id)
+            self._pending_op.pop(req_id)
+            self._pending_addr.pop(req_id)
+            self._squashed_reqs.add(req_id)
+            self.current_req[slot] = None
+            future.complete(SQUASHED)
+        # Barriers/condvars: the MSA's ABORT response completes the
+        # pending future; the runtime defers acting on it until resume.
+        return True
+
+    # ------------------------------------------------------------------
+    # Response path
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        if msg.kind == "msa_cpu.revoke":
+            addr = msg.payload["addr"]
+            self._hwsync.pop(addr, None)
+            if addr in self._silent_cancelled:
+                # A silent acquire is mid-fence: cancel it so its send
+                # downgrades to a normal request (its message would
+                # otherwise arrive after our acknowledgment, when the
+                # MSA may already have freed or re-granted the entry).
+                self._silent_cancelled[addr] = True
+            self.stats.counter("hwsync_revoked").inc()
+            self.network.send(
+                Message(
+                    src=self.core_id,
+                    dst=msg.src,
+                    kind="msa.revoke_ack",
+                    payload={"addr": addr, "core": self.core_id},
+                )
+            )
+            return
+        if msg.kind != "msa_cpu.resp":
+            raise ValueError(f"sync unit {self.core_id}: unknown {msg}")
+        p = msg.payload
+        req_id = p["req_id"]
+        result: SyncResult = p["result"]
+        if req_id in self._detached_reqs:
+            # Silent-UNLOCK notification response: consumed only for the
+            # re-arm bit (the instruction already retired as SUCCESS).
+            self._detached_reqs.discard(req_id)
+            if result is SyncResult.SUCCESS and p.get("rearm"):
+                self._note_hwsync(p["addr"])
+            return
+        if req_id in self._squashed_reqs:
+            self._squashed_reqs.discard(req_id)
+            slot = self._pending_slot.pop(req_id, 0)
+            # A grant raced our suspension: we now own a lock the thread
+            # never observed acquiring.  Release it immediately.
+            if result is SyncResult.SUCCESS:
+                self.stats.counter("squashed_grant_released").inc()
+                if p.get("grant_hwsync"):
+                    self._held[p["addr"]] = slot
+                self.issue(SyncOp.UNLOCK, p["addr"], slot=slot)
+            return
+        future = self._pending.pop(req_id, None)
+        if future is None:
+            raise ValueError(
+                f"sync unit {self.core_id}: response for unknown req {req_id}"
+            )
+        self._pending_op.pop(req_id, None)
+        self._pending_addr.pop(req_id, None)
+        req_slot = self._pending_slot.pop(req_id, 0)
+        if self.current_req.get(req_slot) == req_id:
+            self.current_req[req_slot] = None
+        if result is SyncResult.SUCCESS:
+            if p.get("grant_hwsync"):
+                # A lock grant: we hold it (silent-unlock fast path).
+                self._held[p["addr"]] = req_slot
+            if p.get("rearm"):
+                self._note_hwsync(p["addr"])
+        future.complete(result)
+
+    def _note_hwsync(self, addr: Address) -> None:
+        """Record the HWSync bit; capacity models L1 residency.  Evicted
+        bits are simply lost (the next LOCK takes the normal path; the
+        MSA reclaims the stale grant lazily via revoke)."""
+        self._hwsync[addr] = True
+        self._hwsync.move_to_end(addr)
+        while len(self._hwsync) > HWSYNC_TABLE_SIZE:
+            self._hwsync.popitem(last=False)
+
+    def holds_hwsync(self, addr: Address) -> bool:
+        """Whether the idle-armed HWSync bit is set (a silent LOCK
+        would hit)."""
+        return bool(self._hwsync.get(addr))
+
+    def holds_lock_grant(self, addr: Address, slot: int = 0) -> bool:
+        """Whether hardware-thread ``slot`` holds ``addr`` through a
+        hardware grant (a silent UNLOCK would hit)."""
+        return self._held.get(addr) == slot

@@ -1,0 +1,99 @@
+"""Overflow Management Unit (paper section 3.2).
+
+The OMU is a small set of saturating counters, indexed by the
+synchronization address *without tagging*, that track how many threads
+are currently active (waiting or lock-owning) in the *software*
+implementation of each address.  A new MSA entry may only be allocated
+when the address's counter reads zero; otherwise the request is steered
+to software, preventing hardware and software from simultaneously
+implementing the same synchronization object.
+
+Aliasing (distinct addresses sharing a counter) can only steer an
+operation to software -- a performance effect, never a correctness one.
+A counting-Bloom-filter variant reduces aliasing with the same safety
+property (no false "inactive" reports).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.common.params import OMUParams
+from repro.common.stats import StatSet
+from repro.common.types import Address
+
+
+class OverflowManagementUnit:
+    """Simple indexed-counter OMU (the paper's evaluated design:
+    four counters per slice)."""
+
+    def __init__(self, params: OMUParams, stats: StatSet, line_shift: int = 6):
+        self.params = params
+        self.stats = stats
+        self._counters: List[int] = [0] * params.n_counters
+        self._line_shift = line_shift
+
+    def _indices(self, addr: Address) -> List[int]:
+        return [(addr >> self._line_shift) % self.params.n_counters]
+
+    def is_active(self, addr: Address) -> bool:
+        """True when software-side synchronization may be active on this
+        address (counter non-zero): the MSA must steer to software."""
+        return any(self._counters[i] > 0 for i in self._indices(addr))
+
+    def increment(self, addr: Address, amount: int = 1) -> None:
+        """A thread's operation on ``addr`` fell back to software."""
+        self.stats.counter("omu_increments").inc(amount)
+        for i in self._indices(addr):
+            self._counters[i] = min(
+                self.params.counter_max, self._counters[i] + amount
+            )
+
+    def decrement(self, addr: Address, amount: int = 1) -> None:
+        """A software-side operation on ``addr`` completed."""
+        self.stats.counter("omu_decrements").inc(amount)
+        for i in self._indices(addr):
+            if self._counters[i] < amount:
+                # Legal programs never underflow; tolerate (and count)
+                # misuse the way saturating hardware would.
+                self.stats.counter("omu_underflows").inc()
+                self._counters[i] = 0
+            else:
+                self._counters[i] -= amount
+
+    @property
+    def total(self) -> int:
+        return sum(self._counters)
+
+    def snapshot(self) -> List[int]:
+        return list(self._counters)
+
+
+class CountingBloomOmu(OverflowManagementUnit):
+    """Counting-Bloom-filter OMU: ``k`` hashed positions per address.
+
+    ``is_active`` is true iff *all* k positions are non-zero, so an
+    address with software activity always reads active (no false
+    negatives), while aliasing-induced false positives drop roughly
+    exponentially with k.
+    """
+
+    def _indices(self, addr: Address) -> List[int]:
+        line = addr >> self._line_shift
+        out = []
+        for k in range(self.params.bloom_hashes):
+            digest = hashlib.blake2b(
+                line.to_bytes(8, "little"), digest_size=4, salt=bytes([k])
+            ).digest()
+            out.append(int.from_bytes(digest, "little") % self.params.n_counters)
+        return out
+
+    def is_active(self, addr: Address) -> bool:
+        return all(self._counters[i] > 0 for i in self._indices(addr))
+
+
+def make_omu(params: OMUParams, stats: StatSet, line_shift: int = 6):
+    """Build the OMU variant selected by the configuration."""
+    cls = CountingBloomOmu if params.use_bloom else OverflowManagementUnit
+    return cls(params, stats, line_shift)

@@ -1,0 +1,854 @@
+"""One tile's MSA slice: the distributed synchronization accelerator
+(paper sections 3 and 4).
+
+The slice owns the MSA entries for synchronization addresses homed at
+this tile, the tile's OMU, and the per-slice NBTC fairness register.
+It speaks four protocols over the NoC:
+
+* core <-> slice: the ISA requests (``msa.req``), FINISH/SUSPEND
+  notifications, and responses (``msa_cpu.resp``);
+* the HWSync-bit protocol: silent re-acquire notifications
+  (``msa.silent``) and revoke round-trips (``msa_cpu.revoke`` /
+  ``msa.revoke_ack``) that keep silent acquisition safe;
+* slice <-> slice: the condvar protocol that pins a condvar's lock to
+  its MSA entry (``msa.unlock_pin`` / ``msa.lock_onbehalf`` / ...);
+* entry reclamation: lazy revocation of idle HWSync-pinned entries when
+  allocation pressure needs a free entry.
+
+Safety argument mirrors the paper: an entry is allocated for an
+acquire-type request only when the OMU counter for the address is zero
+(no software-side owner/waiter exists), an existing entry always wins
+the lookup (hardware episodes drain before software can start), and an
+entry with an outstanding HWSync bit is never deallocated without a
+revoke round-trip (so a silent re-acquire can never race with a
+software fallback).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import ProtocolError
+from repro.common.params import MSAParams, OMUParams
+from repro.common.stats import StatSet
+from repro.common.types import Address, CoreId, SyncOp, SyncResult, SyncType, TileId
+from repro.msa.entry import MSAEntry
+from repro.msa.omu import make_omu
+from repro.noc.message import Message
+from repro.noc.network import Network
+from repro.sim.kernel import Simulator
+
+
+class MSASlice:
+    """The synchronization accelerator slice at one tile."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        tile: TileId,
+        params: MSAParams,
+        omu_params: OMUParams,
+        home_of: callable,
+        line_shift: int = 6,
+        tracer=None,
+        hw_threads: int = 1,
+    ):
+        self.sim = sim
+        self.network = network
+        self.tile = tile
+        self.params = params
+        self.omu_params = omu_params
+        self.home_of = home_of
+        self.tracer = tracer
+        self.hw_threads = hw_threads
+        """Hardware thread contexts per core; HWQueue entries are
+        requester ids (core * hw_threads + slot, paper section 3)."""
+
+        self.stats = StatSet(f"msa.{tile}")
+        self.omu = make_omu(omu_params, self.stats, line_shift)
+        self.entries: Dict[Address, MSAEntry] = {}
+        self.nbtc: CoreId = 0
+        """Next-bit-to-check register: one per slice (not per entry),
+        round-robin start position for waiter selection (section 4.1)."""
+
+        network.register(tile, "msa", self._on_message)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _trace(self, what: str, *detail) -> None:
+        if self.tracer is not None and self.tracer.active:
+            self.tracer.record("msa", f"slice{self.tile}", what, *detail)
+
+    def _core_of(self, requester: CoreId) -> CoreId:
+        """Physical core (tile) hosting a requester (HWQueue bit)."""
+        return requester // self.hw_threads
+
+    def _respond(
+        self,
+        core: CoreId,
+        req_id: int,
+        result: SyncResult,
+        addr: Address,
+        grant_hwsync: bool = False,
+        rearm: bool = False,
+    ) -> None:
+        self._trace("respond", result.value, f"core={core}", f"addr={addr:#x}")
+        if result is SyncResult.SUCCESS:
+            self.stats.counter("ops_hw").inc()
+        elif result is SyncResult.FAIL:
+            self.stats.counter("ops_sw").inc()
+        else:
+            self.stats.counter("ops_aborted").inc()
+        self.sim.schedule(
+            self.params.msa_access_latency,
+            lambda: self.network.send(
+                Message(
+                    src=self.tile,
+                    dst=self._core_of(core),
+                    kind="msa_cpu.resp",
+                    payload={
+                        "result": result,
+                        "req_id": req_id,
+                        "addr": addr,
+                        "grant_hwsync": grant_hwsync,
+                        "rearm": rearm,
+                    },
+                )
+            ),
+        )
+
+    def _send_slice(self, dst: TileId, kind: str, **payload) -> None:
+        self.sim.schedule(
+            self.params.msa_access_latency,
+            lambda: self.network.send(
+                Message(src=self.tile, dst=dst, kind=kind, payload=payload)
+            ),
+        )
+
+    def _send_revoke(self, core: CoreId, addr: Address) -> None:
+        self.stats.counter("revokes_sent").inc()
+        self._send_slice(core, "msa_cpu.revoke", addr=addr)
+
+    def _omu_increment(self, addr: Address, amount: int = 1) -> None:
+        if self.omu_params.enabled:
+            self.omu.increment(addr, amount)
+
+    def _omu_decrement(self, addr: Address, amount: int = 1) -> None:
+        if self.omu_params.enabled:
+            self.omu.decrement(addr, amount)
+
+    def _omu_active(self, addr: Address) -> bool:
+        return self.omu_params.enabled and self.omu.is_active(addr)
+
+    @property
+    def full(self) -> bool:
+        if self.params.is_infinite:
+            return False
+        return len(self.entries) >= self.params.entries_per_tile
+
+    # ------------------------------------------------------------------
+    # Entry lifecycle
+    # ------------------------------------------------------------------
+    #: Sentinel: the request was queued behind an entry reclamation and
+    #: will replay when the revoke acknowledgment arrives.
+    DEFERRED = object()
+
+    def _try_allocate(self, addr: Address, sync_type: SyncType, replay=None):
+        """Allocate an entry for an acquire-type request.
+
+        Returns the new entry, ``None`` when the request must be steered
+        to software (Figures 2-4), or :data:`DEFERRED` when the slice is
+        full of idle HWSync-pinned entries: the request then waits out
+        one revoke round-trip and replays (``replay`` thunk) instead of
+        paying a full software fallback.
+        """
+        if not self.params.supports(sync_type):
+            return None
+        if self._omu_active(addr):
+            self.stats.counter("omu_steered_sw").inc()
+            return None
+        if self.full and not self._evict_one_evictable():
+            if replay is not None and self._defer_on_reclaim(replay):
+                return self.DEFERRED
+            self.stats.counter("alloc_full").inc()
+            return None
+        entry = MSAEntry(addr=addr, sync_type=sync_type)
+        self.entries[addr] = entry
+        self.stats.counter("entries_allocated").inc()
+        self._trace("allocate", sync_type.value, f"addr={addr:#x}")
+        return entry
+
+    def _defer_on_reclaim(self, replay) -> bool:
+        """Queue ``replay`` behind an idle entry's reclamation (starting
+        one if needed).  Returns False when no entry is reclaimable."""
+        for entry in self.entries.values():
+            if entry.reclaiming:
+                entry.reclaim_waiters.append(replay)
+                self.stats.counter("alloc_deferred").inc()
+                return True
+        for entry in self.entries.values():
+            if entry.idle_cached():
+                entry.reclaiming = True
+                entry.revoking = True
+                entry.reclaim_waiters.append(replay)
+                self.stats.counter("reclaims_started").inc()
+                self.stats.counter("alloc_deferred").inc()
+                self._send_revoke(entry.hwsync_core, entry.addr)
+                return True
+        return False
+
+    def _maybe_free(self, entry: MSAEntry) -> None:
+        if not self.omu_params.enabled:
+            # "Without OMU" model (Figure 7): entries are only
+            # allocated/deallocated at object init/destroy, so once an
+            # address gets an entry it keeps it.
+            return
+        if not entry.evictable():
+            return
+        if entry.sync_type is SyncType.LOCK and self.params.hwsync_opt:
+            # Keep idle lock entries on probation (they carry the reuse
+            # predictor); they cost nothing -- allocation evicts them
+            # instantly on demand, no revoke needed.
+            return
+        del self.entries[entry.addr]
+        self.stats.counter("entries_freed").inc()
+
+    def _evict_one_evictable(self) -> bool:
+        """Free one instantly-evictable entry to make room; returns
+        False when none exists (never in the no-OMU model, where
+        entries are permanent)."""
+        if not self.omu_params.enabled:
+            return False
+        for entry in self.entries.values():
+            if entry.evictable():
+                del self.entries[entry.addr]
+                self.stats.counter("entries_evicted").inc()
+                return True
+        return False
+
+    def _select_waiter(self, entry: MSAEntry) -> CoreId:
+        """Round-robin selection starting at the slice's NBTC register;
+        updates NBTC to the position after the selected requester."""
+        n = self.network.topology.n_tiles * self.hw_threads
+        for offset in range(n):
+            candidate = (self.nbtc + offset) % n
+            if candidate in entry.waiters:
+                self.nbtc = (candidate + 1) % n
+                return candidate
+        raise ProtocolError(f"select_waiter on empty HWQueue: {entry}")
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        kind = msg.kind
+        p = msg.payload
+        if kind == "msa.req":
+            self._handle_request(
+                SyncOp(p["op"]), p["addr"], p["aux"], p["core"], p["req_id"]
+            )
+        elif kind == "msa.silent":
+            self._handle_silent(p["addr"], p["core"])
+        elif kind == "msa.revoke_ack":
+            self._handle_revoke_ack(p["addr"])
+        elif kind == "msa.finish":
+            self._omu_decrement(p["addr"])
+        elif kind == "msa.suspend":
+            self._handle_suspend(p["addr"], p["core"])
+        elif kind == "msa.unlock_pin":
+            self._handle_unlock_pin(p["lock_addr"], p["cond_addr"], p["waiter"], msg.src)
+        elif kind == "msa.unlock_pin_resp":
+            self._handle_unlock_pin_resp(p["cond_addr"], p["ok"])
+        elif kind == "msa.unlock_onbehalf":
+            self._handle_unlock_onbehalf(p["lock_addr"], p["waiter"])
+        elif kind == "msa.lock_onbehalf":
+            self._handle_lock_onbehalf(
+                p["lock_addr"], p["waiter"], p["req_id"], p["unpin"]
+            )
+        elif kind == "msa.unpin":
+            self._handle_unpin(p["lock_addr"])
+        else:
+            raise ProtocolError(f"MSA slice {self.tile}: unknown {msg}")
+
+    def _handle_request(
+        self, op: SyncOp, addr: Address, aux: int, core: CoreId, req_id: int
+    ) -> None:
+        self.stats.counter(f"req.{op.value}").inc()
+        if op is SyncOp.LOCK:
+            self._handle_lock(addr, core, req_id)
+        elif op is SyncOp.TRYLOCK:
+            self._handle_trylock(addr, core, req_id)
+        elif op is SyncOp.UNLOCK:
+            self._handle_unlock(addr, core, req_id)
+        elif op is SyncOp.BARRIER:
+            self._handle_barrier(addr, aux, core, req_id)
+        elif op is SyncOp.COND_WAIT:
+            self._handle_cond_wait(addr, aux, core, req_id)
+        elif op is SyncOp.COND_SIGNAL:
+            self._handle_cond_signal(addr, core, req_id, broadcast=False)
+        elif op is SyncOp.COND_BCAST:
+            self._handle_cond_signal(addr, core, req_id, broadcast=True)
+        else:
+            raise ProtocolError(f"unexpected request op {op}")
+
+    def _typed_entry(
+        self, addr: Address, sync_type: SyncType
+    ) -> Optional[MSAEntry]:
+        entry = self.entries.get(addr)
+        if entry is not None and entry.sync_type is not sync_type:
+            raise ProtocolError(
+                f"address {addr:#x} used as {sync_type.value} but MSA entry "
+                f"is {entry.sync_type.value}: mixed-type synchronization"
+            )
+        return entry
+
+    # ------------------------------------------------------------------
+    # Locks (section 4.1)
+    # ------------------------------------------------------------------
+    def _handle_lock(self, addr: Address, core: CoreId, req_id: int) -> None:
+        entry = self._typed_entry(addr, SyncType.LOCK)
+        if entry is None:
+            entry = self._try_allocate(
+                addr,
+                SyncType.LOCK,
+                replay=lambda: self._handle_lock(addr, core, req_id),
+            )
+            if entry is self.DEFERRED:
+                return
+            if entry is None:
+                self._omu_increment(addr)
+                self._respond(core, req_id, SyncResult.FAIL, addr)
+                return
+        entry.waiters[core] = req_id
+        self._try_grant(entry)
+
+    def _handle_trylock(self, addr: Address, core: CoreId, req_id: int) -> None:
+        """TRYLOCK extension: grant immediately when the lock is free
+        and hardware-manageable, respond BUSY when it is hardware-owned,
+        never enqueue and never wait (not even for a revoke)."""
+        entry = self._typed_entry(addr, SyncType.LOCK)
+        if entry is None:
+            entry = self._try_allocate(addr, SyncType.LOCK)
+            if entry is None or entry is self.DEFERRED:
+                # No entry and no instant allocation: steer to the
+                # software trylock.  (The runtime balances the OMU with
+                # FINISH when its software attempt fails to acquire.)
+                if entry is self.DEFERRED:
+                    raise ProtocolError("trylock must not be deferred")
+                self._omu_increment(addr)
+                self._respond(core, req_id, SyncResult.FAIL, addr)
+                return
+        if entry.owner is not None or entry.waiters or entry.revoking:
+            self._respond(core, req_id, SyncResult.BUSY, addr)
+            self._maybe_free(entry)
+            return
+        if (
+            self.params.hwsync_opt
+            and entry.hwsync_core is not None
+            and entry.hwsync_core != self._core_of(core)
+        ):
+            # Another core may silently re-take the lock; a trylock
+            # cannot wait out the revoke, so report BUSY conservatively.
+            self._respond(core, req_id, SyncResult.BUSY, addr)
+            return
+        entry.waiters[core] = req_id
+        self._complete_grant(entry, core)
+
+    def _try_grant(self, entry: MSAEntry) -> None:
+        if entry.owner is not None or entry.revoking or not entry.waiters:
+            return
+        core = self._select_waiter(entry)
+        if (
+            self.params.hwsync_opt
+            and entry.hwsync_core is not None
+            and entry.hwsync_core != self._core_of(core)
+        ):
+            # The last-granted core may silently re-acquire through its
+            # HWSync bit; revoke it before handing the lock elsewhere.
+            entry.revoking = True
+            entry.pending_grant = core
+            self._send_revoke(entry.hwsync_core, entry.addr)
+            return
+        self._complete_grant(entry, core)
+
+    def _complete_grant(self, entry: MSAEntry, core: CoreId) -> None:
+        req_id = entry.waiters.pop(core)
+        entry.owner = core
+        grant_hwsync = self.params.hwsync_opt
+        if grant_hwsync:
+            # The HWSync bit lives in the *core's* cache, so predictor
+            # state tracks physical cores, not hardware threads.
+            granted_core = self._core_of(core)
+            entry.hwsync_core = granted_core
+            if entry.last_owner == granted_core:
+                entry.reuse_mode = True
+            elif entry.last_owner is not None:
+                entry.reuse_mode = False
+            entry.last_owner = granted_core
+        self.stats.counter("lock_grants").inc()
+        self._respond(
+            core, req_id, SyncResult.SUCCESS, entry.addr, grant_hwsync=grant_hwsync
+        )
+
+    def _handle_unlock(self, addr: Address, core: CoreId, req_id: int) -> None:
+        entry = self._typed_entry(addr, SyncType.LOCK)
+        if entry is None:
+            self._omu_decrement(addr)
+            self._respond(core, req_id, SyncResult.FAIL, addr)
+            return
+        if entry.owner == core:
+            entry.owner = None
+            # The releasing core disarmed its own HWSync bit before this
+            # UNLOCK became visible, so a handoff grant needs no revoke.
+            entry.hwsync_core = None
+            if (
+                entry.waiters
+                or not self.params.hwsync_opt
+                or entry.revoking
+                or not entry.reuse_mode
+            ):
+                # No re-arm: on a handoff the grant supersedes it; while
+                # a revoke is in flight the pending acknowledgment will
+                # clear hwsync_core and must not race a fresh grant of
+                # the bit; and without observed same-core reuse the
+                # entry is more valuable evictable than pinned.
+                self._respond(core, req_id, SyncResult.SUCCESS, addr)
+                self._try_grant(entry)
+            else:
+                # Reused idle lock: re-arm the releaser so its next LOCK
+                # takes the silent fast path (section 5's target case).
+                entry.hwsync_core = self._core_of(core)
+                self._respond(core, req_id, SyncResult.SUCCESS, addr, rearm=True)
+            self._maybe_free(entry)
+            return
+        if entry.owner is None:
+            # The entry is idle in hardware (probation/idle-cached), so
+            # this releaser must hold the lock in *software*: behave
+            # exactly like an entry miss (default-to-software).
+            self._omu_decrement(addr)
+            self._respond(core, req_id, SyncResult.FAIL, addr)
+            return
+        # UNLOCK from a core that does not own the lock: the owning
+        # thread was migrated (section 4.1.2).  Hand the lock's waiters
+        # to software, after revoking any outstanding HWSync bit.
+        self.stats.counter("migrated_unlocks").inc()
+        if entry.hwsync_core is not None and not entry.revoking:
+            # Clear the stale owner-of-record (the owning thread moved
+            # away) and revoke the old core's HWSync bit before handing
+            # everything to software.  If a *new* thread on the old core
+            # silently re-acquires during the revoke window, the ack
+            # handler detects it (owner re-set) and fails loudly -- a
+            # corner the paper does not define behaviour for.
+            entry.owner = None
+            entry.revoking = True
+            entry.pending_grant = None
+            entry.teardown = (core, req_id)
+            self._send_revoke(entry.hwsync_core, entry.addr)
+            return
+        self._finish_migrated_unlock(entry, core, req_id)
+
+    def _finish_migrated_unlock(
+        self, entry: MSAEntry, core: CoreId, req_id: int
+    ) -> None:
+        entry.owner = None
+        entry.hwsync_core = None
+        entry.reuse_mode = False
+        self._respond(core, req_id, SyncResult.SUCCESS, entry.addr)
+        if entry.pin_count > 0 or not self.omu_params.enabled:
+            # The entry must persist (condvar-pinned, or the no-OMU
+            # model), so handing the waiters to software would let a
+            # later hardware hit race them.  The lock is known free
+            # (the migrated owner just released it), so keep the
+            # waiters in hardware and grant normally instead.
+            self.stats.counter("migrated_unlock_kept_hw").inc()
+            self._try_grant(entry)
+            return
+        # Hand everything to software: ABORT the waiters, charge the
+        # OMU, and *delete* the entry -- a lingering entry would let
+        # the next LOCK hit it and bypass the OMU while the aborted
+        # waiters own the lock in software.
+        aborted = list(entry.waiters.items())
+        entry.waiters.clear()
+        for wcore, wreq in aborted:
+            self._respond(wcore, wreq, SyncResult.ABORT, entry.addr)
+        if aborted:
+            self._omu_increment(entry.addr, len(aborted))
+        del self.entries[entry.addr]
+        self.stats.counter("entries_freed").inc()
+
+    def _handle_silent(self, addr: Address, core: CoreId) -> None:
+        """LOCK_SILENT: requester ``core`` re-acquired the lock through
+        its physical core's HWSync bit without waiting for our response
+        (section 5)."""
+        entry = self.entries.get(addr)
+        if entry is None or entry.hwsync_core != self._core_of(core):
+            raise ProtocolError(
+                f"LOCK_SILENT from requester {core} for {addr:#x} without "
+                f"a matching HWSync grant (entry={entry})"
+            )
+        if entry.owner is not None:
+            raise ProtocolError(
+                f"LOCK_SILENT from requester {core} but {addr:#x} is owned "
+                f"by requester {entry.owner}"
+            )
+        entry.owner = core
+        self.stats.counter("silent_acquires").inc()
+        self.stats.counter("ops_hw").inc()
+
+    def _handle_revoke_ack(self, addr: Address) -> None:
+        entry = self.entries.get(addr)
+        if entry is None or not entry.revoking:
+            raise ProtocolError(f"stray revoke ack for {addr:#x}")
+        entry.revoking = False
+        reclaiming, entry.reclaiming = entry.reclaiming, False
+        deferred, entry.reclaim_waiters = entry.reclaim_waiters, []
+        teardown = getattr(entry, "teardown", None)
+        if teardown is not None:
+            del entry.teardown
+            if entry.owner is not None:
+                raise ProtocolError(
+                    "silent re-acquire raced a migrated-owner UNLOCK "
+                    f"teardown on {addr:#x}"
+                )
+            self._finish_migrated_unlock(entry, *teardown)
+            self._replay_deferred(deferred)
+            return
+        if entry.owner is not None:
+            # Retaken: a LOCK_SILENT arrived (FIFO: before this ack), so
+            # the bit holder owns the lock again; deferred grantee waits.
+            entry.pending_grant = None
+            self.stats.counter("revokes_retaken").inc()
+            self._replay_deferred(deferred)
+            return
+        entry.hwsync_core = None
+        grantee = entry.pending_grant
+        entry.pending_grant = None
+        if grantee is not None and grantee in entry.waiters:
+            self._complete_grant(entry, grantee)
+            self._replay_deferred(deferred)
+            return
+        if reclaiming:
+            self.stats.counter("reclaims_completed").inc()
+        self._try_grant(entry)
+        self._maybe_free(entry)
+        # Requests queued behind this reclamation re-enter their
+        # handlers now; if the entry freed they will allocate it.
+        self._replay_deferred(deferred)
+
+    def _replay_deferred(self, deferred) -> None:
+        for replay in deferred:
+            replay()
+
+    # ------------------------------------------------------------------
+    # Barriers (section 4.2)
+    # ------------------------------------------------------------------
+    def _handle_barrier(
+        self, addr: Address, goal: int, core: CoreId, req_id: int
+    ) -> None:
+        entry = self._typed_entry(addr, SyncType.BARRIER)
+        if entry is None:
+            entry = self._try_allocate(
+                addr,
+                SyncType.BARRIER,
+                replay=lambda: self._handle_barrier(addr, goal, core, req_id),
+            )
+            if entry is self.DEFERRED:
+                return
+            if entry is None:
+                self._omu_increment(addr)
+                self._respond(core, req_id, SyncResult.FAIL, addr)
+                return
+            entry.barrier_goal = goal
+        elif entry.barrier_goal == 0:
+            # Persistent entry (no-OMU mode) starting a new episode.
+            entry.barrier_goal = goal
+        elif entry.barrier_goal != goal:
+            raise ProtocolError(
+                f"barrier {addr:#x}: goal {goal} != active episode goal "
+                f"{entry.barrier_goal}"
+            )
+        entry.waiters[core] = req_id
+        if len(entry.waiters) >= entry.barrier_goal:
+            self._release_barrier(entry)
+
+    def _release_barrier(self, entry: MSAEntry) -> None:
+        self.stats.counter("barrier_releases").inc()
+        arrived = list(entry.waiters.items())
+        entry.waiters.clear()
+        entry.barrier_goal = 0
+        for core, req_id in arrived:
+            self._respond(core, req_id, SyncResult.SUCCESS, entry.addr)
+        self._maybe_free(entry)
+
+    # ------------------------------------------------------------------
+    # Condition variables (section 4.3)
+    # ------------------------------------------------------------------
+    def _handle_cond_wait(
+        self, cond_addr: Address, lock_addr: Address, core: CoreId, req_id: int
+    ) -> None:
+        entry = self._typed_entry(cond_addr, SyncType.CONDVAR)
+        if entry is not None and entry.reserved:
+            entry.reserve_queue.append(
+                ("cond_wait", cond_addr, lock_addr, core, req_id)
+            )
+            return
+        if entry is not None:
+            if entry.hwqueue_empty() and entry.cond_lock_addr != lock_addr:
+                # Persistent entry (no-OMU mode) being reused with a
+                # different mutex: re-run the reservation handshake so
+                # the new lock gets pinned.
+                entry.reserved = True
+                entry.cond_lock_addr = lock_addr
+                entry.waiters[core] = req_id
+                self._send_slice(
+                    self.home_of(lock_addr),
+                    "msa.unlock_pin",
+                    lock_addr=lock_addr,
+                    cond_addr=cond_addr,
+                    waiter=core,
+                )
+                return
+            entry.waiters[core] = req_id
+            self._send_slice(
+                self.home_of(entry.cond_lock_addr),
+                "msa.unlock_onbehalf",
+                lock_addr=entry.cond_lock_addr,
+                waiter=core,
+            )
+            return
+        # Miss: allocate only if both the condvar and its lock can be
+        # handled in hardware (Figure 4).  The lock side is verified by
+        # the UNLOCK&PIN round trip; locally we check OMU and capacity.
+        allocated = self._try_allocate(
+            cond_addr,
+            SyncType.CONDVAR,
+            replay=lambda: self._handle_cond_wait(cond_addr, lock_addr, core, req_id),
+        )
+        if allocated is self.DEFERRED:
+            return
+        if allocated is None:
+            self._omu_increment(cond_addr)
+            self._respond(core, req_id, SyncResult.FAIL, cond_addr)
+            return
+        allocated.reserved = True
+        allocated.cond_lock_addr = lock_addr
+        allocated.waiters[core] = req_id
+        self._send_slice(
+            self.home_of(lock_addr),
+            "msa.unlock_pin",
+            lock_addr=lock_addr,
+            cond_addr=cond_addr,
+            waiter=core,
+        )
+
+    def _handle_unlock_pin(
+        self, lock_addr: Address, cond_addr: Address, waiter: CoreId, cond_home: TileId
+    ) -> None:
+        """UNLOCK&PIN from a condvar home: release ``waiter``'s lock and
+        pin the lock's entry so it outlives empty HWQueues."""
+        entry = self.entries.get(lock_addr)
+        ok = entry is not None and entry.sync_type is SyncType.LOCK
+        if ok and entry.owner != waiter:
+            raise ProtocolError(
+                f"UNLOCK&PIN: waiter core {waiter} does not own lock "
+                f"{lock_addr:#x} (owner={entry.owner})"
+            )
+        if ok:
+            entry.owner = None
+            if entry.hwsync_core == self._core_of(waiter):
+                entry.hwsync_core = None
+            entry.pin_count += 1
+            self.stats.counter("lock_pins").inc()
+            self._try_grant(entry)
+        self._send_slice(
+            cond_home, "msa.unlock_pin_resp", cond_addr=cond_addr, ok=ok
+        )
+
+    def _handle_unlock_pin_resp(self, cond_addr: Address, ok: bool) -> None:
+        entry = self.entries.get(cond_addr)
+        if entry is None or not entry.reserved:
+            raise ProtocolError(f"stray UNLOCK&PIN response for {cond_addr:#x}")
+        queued = list(entry.reserve_queue)
+        entry.reserve_queue.clear()
+        if ok:
+            entry.reserved = False
+            for item in queued:
+                self._replay_reserved(item)
+            return
+        # The lock is not in hardware: fail the reserving waiter(s).
+        failed = list(entry.waiters.items())
+        entry.waiters.clear()
+        entry.reserved = False
+        del self.entries[cond_addr]
+        self.stats.counter("cond_reserve_failures").inc()
+        for core, req_id in failed:
+            self._omu_increment(cond_addr)
+            self._respond(core, req_id, SyncResult.FAIL, cond_addr)
+        for item in queued:
+            self._replay_reserved(item)
+
+    def _replay_reserved(self, item) -> None:
+        if item[0] == "cond_wait":
+            _, cond_addr, lock_addr, core, req_id = item
+            self._handle_cond_wait(cond_addr, lock_addr, core, req_id)
+        else:
+            _, cond_addr, core, req_id, broadcast = item
+            self._handle_cond_signal(cond_addr, core, req_id, broadcast)
+
+    def _handle_unlock_onbehalf(self, lock_addr: Address, waiter: CoreId) -> None:
+        entry = self.entries.get(lock_addr)
+        if entry is None or entry.owner != waiter:
+            raise ProtocolError(
+                f"unlock-on-behalf of core {waiter} for {lock_addr:#x}: "
+                f"lock not hardware-owned by the waiter (entry={entry})"
+            )
+        entry.owner = None
+        # The waiter's core disarmed its HWSync bit when it issued
+        # COND_WAIT, so the grant path needs no revoke.
+        if entry.hwsync_core == self._core_of(waiter):
+            entry.hwsync_core = None
+        self._try_grant(entry)
+
+    def _handle_cond_signal(
+        self, addr: Address, core: CoreId, req_id: int, broadcast: bool
+    ) -> None:
+        entry = self._typed_entry(addr, SyncType.CONDVAR)
+        if entry is not None and entry.reserved:
+            entry.reserve_queue.append(("signal", addr, core, req_id, broadcast))
+            return
+        if entry is None:
+            self._respond(core, req_id, SyncResult.FAIL, addr)
+            return
+        if not entry.waiters:
+            # Persistent entry (no-OMU mode) with nobody waiting: the
+            # signal is a hardware-handled no-op (POSIX semantics).
+            self._respond(core, req_id, SyncResult.SUCCESS, addr)
+            return
+        self._respond(core, req_id, SyncResult.SUCCESS, addr)
+        if broadcast:
+            released = []
+            while entry.waiters:
+                wcore = self._select_waiter(entry)
+                released.append((wcore, entry.waiters.pop(wcore)))
+        else:
+            wcore = self._select_waiter(entry)
+            released = [(wcore, entry.waiters.pop(wcore))]
+        self.stats.counter("cond_wakeups").inc(len(released))
+        lock_home = self.home_of(entry.cond_lock_addr)
+        entry_empty = not entry.waiters
+        # In no-OMU mode the entry (and its lock pin) persists forever,
+        # so the last wake-up only carries UNPIN when the entry frees.
+        frees_entry = entry_empty and self.omu_params.enabled
+        for index, (wcore, wreq) in enumerate(released):
+            last = index == len(released) - 1
+            self._send_slice(
+                lock_home,
+                "msa.lock_onbehalf",
+                lock_addr=entry.cond_lock_addr,
+                waiter=wcore,
+                req_id=wreq,
+                unpin=last and frees_entry,
+            )
+        if frees_entry:
+            del self.entries[addr]
+            self.stats.counter("entries_freed").inc()
+
+    def _handle_lock_onbehalf(
+        self, lock_addr: Address, waiter: CoreId, req_id: int, unpin: bool
+    ) -> None:
+        """LOCK (or LOCK&UNPIN) issued by a condvar home on behalf of a
+        woken waiter; our response completes the waiter's COND_WAIT."""
+        entry = self.entries.get(lock_addr)
+        if entry is None or entry.sync_type is not SyncType.LOCK:
+            raise ProtocolError(
+                f"lock-on-behalf for {lock_addr:#x}: pinned lock entry missing"
+            )
+        if unpin:
+            if entry.pin_count < 1:
+                raise ProtocolError(f"LOCK&UNPIN on unpinned {lock_addr:#x}")
+            entry.pin_count -= 1
+            self.stats.counter("lock_unpins").inc()
+        entry.waiters[waiter] = req_id
+        self._try_grant(entry)
+
+    def _handle_unpin(self, lock_addr: Address) -> None:
+        entry = self.entries.get(lock_addr)
+        if entry is None or entry.pin_count < 1:
+            raise ProtocolError(f"unpin of unpinned lock {lock_addr:#x}")
+        entry.pin_count -= 1
+        self.stats.counter("lock_unpins").inc()
+        self._maybe_free(entry)
+
+    # ------------------------------------------------------------------
+    # Suspension / migration (sections 4.1.2, 4.2.2, 4.3.2)
+    # ------------------------------------------------------------------
+    def _handle_suspend(self, addr: Address, core: CoreId) -> None:
+        entry = self.entries.get(addr)
+        if entry is None:
+            return  # Raced with a release/grant already in flight.
+        if entry.sync_type is SyncType.LOCK:
+            # Dequeue the core; its LOCK was squashed core-side and will
+            # re-execute after the thread resumes.
+            if core in entry.waiters:
+                entry.waiters.pop(core)
+                self.stats.counter("lock_suspends").inc()
+                self._maybe_free(entry)
+        elif entry.sync_type is SyncType.BARRIER:
+            # Force the whole barrier episode to software.
+            aborted = list(entry.waiters.items())
+            if not aborted:
+                return
+            entry.waiters.clear()
+            entry.barrier_goal = 0
+            self.stats.counter("barrier_suspends").inc()
+            for wcore, wreq in aborted:
+                self._respond(wcore, wreq, SyncResult.ABORT, addr)
+            self._omu_increment(addr, len(aborted))
+            self._maybe_free(entry)
+        else:  # condvar
+            if core not in entry.waiters:
+                return  # Raced with a signal; wake-up response in flight.
+            wreq = entry.waiters.pop(core)
+            self.stats.counter("cond_suspends").inc()
+            self._respond(core, wreq, SyncResult.ABORT, addr)
+            self._omu_increment(addr)
+            if (
+                not entry.waiters
+                and not entry.reserved
+                and self.omu_params.enabled
+            ):
+                self._send_slice(
+                    self.home_of(entry.cond_lock_addr),
+                    "msa.unpin",
+                    lock_addr=entry.cond_lock_addr,
+                )
+                del self.entries[addr]
+                self.stats.counter("entries_freed").inc()
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and invariant checks
+    # ------------------------------------------------------------------
+    def entry_for(self, addr: Address) -> Optional[MSAEntry]:
+        return self.entries.get(addr)
+
+    def check_invariants(self) -> None:
+        for entry in self.entries.values():
+            if entry.pin_count < 0:
+                raise ProtocolError(f"negative pin count: {entry}")
+            if entry.sync_type is SyncType.LOCK and entry.barrier_goal:
+                raise ProtocolError(f"lock entry with barrier goal: {entry}")
+            if (
+                entry.sync_type is not SyncType.LOCK
+                and entry.owner is not None
+            ):
+                raise ProtocolError(f"non-lock entry with owner: {entry}")
+        if (
+            not self.params.is_infinite
+            and len(self.entries) > self.params.entries_per_tile
+        ):
+            raise ProtocolError(
+                f"slice {self.tile} holds {len(self.entries)} entries, "
+                f"capacity {self.params.entries_per_tile}"
+            )

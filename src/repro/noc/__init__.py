@@ -1,0 +1,14 @@
+"""Packet-level 2D-mesh network-on-chip.
+
+The NoC carries coherence and MSA messages between tiles.  Latency is
+hop-proportional (router pipeline + link traversal per hop) and links
+arbitrate contending packets FIFO, so hot-spot tiles (a contended lock's
+home) naturally see queuing delay -- the effect the paper's software
+baselines suffer from and the MSA's direct notification avoids.
+"""
+
+from repro.noc.topology import MeshTopology
+from repro.noc.message import Message
+from repro.noc.network import Network
+
+__all__ = ["MeshTopology", "Message", "Network"]

@@ -1,0 +1,37 @@
+"""NoC message type.
+
+One message class serves both the coherence protocol and the MSA: the
+``kind`` string namespaces the protocol ("coh.*" vs "msa.*") and the
+``payload`` dict carries protocol-specific fields.  Keeping this generic
+lets the network layer stay protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.common.types import TileId
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A point-to-point NoC message."""
+
+    src: TileId
+    dst: TileId
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    injected_at: int = -1
+    """Cycle the message entered the network (set by the Network)."""
+
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __repr__(self) -> str:
+        return (
+            f"Message#{self.msg_id}({self.kind} {self.src}->{self.dst} "
+            f"{self.payload})"
+        )

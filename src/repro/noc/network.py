@@ -1,0 +1,82 @@
+"""The network fabric connecting tiles.
+
+Components at each tile register a handler per message-kind prefix; the
+network routes messages over the link fabric and dispatches them to the
+destination tile's handler.  Delivery is exactly-once and per-link FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.params import NocParams
+from repro.common.stats import StatSet
+from repro.common.types import TileId
+from repro.noc.message import Message
+from repro.noc.router import LinkFabric
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Routes :class:`Message` objects between tiles over the mesh."""
+
+    def __init__(self, sim: Simulator, n_tiles: int, params: NocParams = None):
+        self.sim = sim
+        self.params = params or NocParams()
+        self.topology = MeshTopology(n_tiles)
+        self.stats = StatSet("noc")
+        self.fabric = LinkFabric(sim, self.params, self.stats)
+        self._handlers: Dict[Tuple[TileId, str], Handler] = {}
+        self._route_cache: Dict[Tuple[TileId, TileId], Tuple] = {}
+
+    def register(self, tile: TileId, prefix: str, handler: Handler) -> None:
+        """Register the receiver for messages whose kind starts with
+        ``prefix`` (e.g. ``"coh"`` or ``"msa"``) at ``tile``."""
+        key = (tile, prefix)
+        if key in self._handlers:
+            raise SimulationError(f"handler already registered for {key}")
+        self._handlers[key] = handler
+
+    def send(self, message: Message) -> None:
+        """Inject a message; it will be delivered to the destination
+        tile's handler after routing latency + contention."""
+        message.injected_at = self.sim.now
+        self.stats.counter("messages_sent").inc()
+        self.stats.counter(f"sent.{message.kind.split('.')[0]}").inc()
+        hops = self._hops(message.src, message.dst)
+        self.fabric.traverse(hops, lambda: self._deliver(message))
+
+    def _hops(self, src: TileId, dst: TileId) -> Tuple:
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = tuple(self.topology.links_on_route(src, dst))
+            self._route_cache[key] = cached
+        return cached
+
+    def _deliver(self, message: Message) -> None:
+        prefix = message.kind.split(".", 1)[0]
+        handler = self._handlers.get((message.dst, prefix))
+        if handler is None:
+            raise SimulationError(
+                f"no handler for {prefix!r} messages at tile {message.dst} "
+                f"(message: {message})"
+            )
+        self.stats.counter("messages_delivered").inc()
+        self.stats.histogram("latency").add(self.sim.now - message.injected_at)
+        handler(message)
+
+    def round_trip_estimate(self, src: TileId, dst: TileId) -> int:
+        """Uncontended request+response latency estimate (for docs/tests)."""
+        hops = self.topology.hops(src, dst)
+        one_way = self.params.injection_latency + hops * (
+            self.params.router_latency
+            + self.params.link_latency
+            + self.params.flits_per_message
+            - 1
+        )
+        return 2 * one_way

@@ -1,0 +1,21 @@
+"""Thread runtime: generator-coroutine threads on simulated cores, an
+OS-like scheduler with suspend/resume/migration, a futex service (the
+kernel half of pthread-style blocking), and the synchronization
+libraries -- pure-software baselines plus the paper's hybrid
+hardware-with-software-fallback algorithms (Algorithms 1-3).
+"""
+
+from repro.runtime.thread import SimThread, ThreadCtx
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.futex import FutexService
+from repro.runtime.syncapi import SyncLibrary, make_library, LIBRARY_NAMES
+
+__all__ = [
+    "SimThread",
+    "ThreadCtx",
+    "Scheduler",
+    "FutexService",
+    "SyncLibrary",
+    "make_library",
+    "LIBRARY_NAMES",
+]

@@ -1,0 +1,91 @@
+"""Futex service: the kernel half of pthread-style blocking.
+
+glibc's pthread mutexes, barriers, and condition variables block in the
+kernel via futex(2); the wake path (syscall entry, runqueue work, IPI to
+the target core) is what makes contended pthread synchronization slow
+and poorly scaling -- exactly the baseline behaviour the paper measures.
+We model that with flat syscall and per-thread wake costs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Generator, Tuple
+
+from repro.common.stats import StatSet
+from repro.common.types import Address
+from repro.sim.kernel import Future, Simulator
+
+#: Cycles to enter/exit the kernel for a futex call.
+SYSCALL_LATENCY = 120
+#: Additional cycles to make one sleeping thread runnable again
+#: (runqueue manipulation + inter-processor interrupt).
+WAKE_LATENCY = 180
+
+
+class FutexService:
+    """Machine-wide futex wait queues."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.stats = StatSet("futex")
+        self._queues: Dict[Address, Deque[Future]] = {}
+
+    def wait(self, th, addr: Address, expected: int) -> Generator:
+        """``futex(FUTEX_WAIT)``: sleep while ``*addr == expected``.
+
+        Returns immediately (EAGAIN-style) when the value already
+        changed; otherwise parks the thread until a wake.  Used with
+        ``yield from`` from thread bodies.
+        """
+        self.stats.counter("waits").inc()
+        yield SYSCALL_LATENCY
+        while True:
+            epoch = th.thread.resume_count
+            value = yield from th.load(addr)
+            if th.thread.resume_count != epoch:
+                # A context switch interleaved with the check: the value
+                # is stale (wakes may have passed while we were off the
+                # core).  A real kernel's check-and-enqueue is atomic
+                # under the futex bucket lock; re-read before deciding.
+                self.stats.counter("check_retries").inc()
+                continue
+            break
+        if value != expected:
+            self.stats.counter("eagain").inc()
+            return False
+        # No yields between the verified read and the enqueue: the
+        # check-and-sleep is atomic within this simulation event.
+        parked = self.sim.future()
+        self._queues.setdefault(addr, deque()).append(parked)
+        yield parked
+        yield SYSCALL_LATENCY  # kernel exit on the woken side
+        yield from th._absorb_suspension()
+        return True
+
+    def wake(self, th, addr: Address, count: int) -> Generator:
+        """``futex(FUTEX_WAKE)``: make up to ``count`` sleepers runnable.
+
+        The waker pays the syscall; each woken thread becomes runnable
+        after a per-thread wake cost (serialized, like a runqueue walk).
+        Returns the number of threads woken.
+        """
+        self.stats.counter("wakes").inc()
+        yield SYSCALL_LATENCY
+        queue = self._queues.get(addr)
+        woken = 0
+        delay = 0
+        while queue and woken < count:
+            parked = queue.popleft()
+            delay += WAKE_LATENCY
+            parked.complete_at(delay, None)
+            woken += 1
+        self.stats.counter("threads_woken").inc(woken)
+        # The waker itself is only charged one wake's worth of work in
+        # the common case; bulk wakes overlap with its kernel exit.
+        if woken:
+            yield WAKE_LATENCY
+        return woken
+
+    def waiters(self, addr: Address) -> int:
+        return len(self._queues.get(addr, ()))

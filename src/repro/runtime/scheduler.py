@@ -1,0 +1,152 @@
+"""OS-like thread scheduler: spawn, suspend, resume, migrate.
+
+The paper assumes one thread per core; the scheduler enforces that and
+provides the thread-management events (suspension, migration) whose
+interaction with the MSA the paper's sections 4.1.2/4.2.2/4.3.2 define.
+Suspension takes effect at the thread's next instruction boundary
+unless the thread is blocked on a synchronization instruction, in which
+case the sync unit's SUSPEND protocol interrupts it immediately.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.runtime.thread import SimThread, ThreadCtx
+from repro.sim.kernel import Process
+
+
+class Scheduler:
+    def __init__(self, machine):
+        self.machine = machine
+        self.sim = machine.sim
+        self.threads: List[SimThread] = []
+        self.contexts: Dict[int, ThreadCtx] = {}
+        self._core_owner: Dict[int, SimThread] = {}
+        self._tids = itertools.count()
+        self._procs: Dict[int, Process] = {}
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        body: Callable[[ThreadCtx], "Generator"],
+        core: Optional[int] = None,
+        name: str = "",
+        start_delay: int = 0,
+        slot: Optional[int] = None,
+    ) -> SimThread:
+        """Start a thread running ``body(ctx)``.
+
+        Default placement fills cores round-robin, then SMT slots:
+        thread ``tid`` lands on core ``tid % n_cores``, slot
+        ``tid // n_cores`` (with hw_threads == 1 this is core == tid,
+        the paper's one-thread-per-core setup)."""
+        n_cores = self.machine.params.n_cores
+        hw_threads = self.machine.params.core.hw_threads
+        tid = next(self._tids)
+        thread = SimThread(tid, name=name or f"thread{tid}")
+        target = (tid % n_cores) if core is None else core
+        target_slot = (tid // n_cores) if core is None and slot is None else (slot or 0)
+        if target >= n_cores:
+            raise SimulationError(
+                f"core {target} out of range for {n_cores}-core machine"
+            )
+        if target_slot >= hw_threads:
+            raise SimulationError(
+                f"slot {target_slot} out of range: core has {hw_threads} "
+                f"hardware thread(s)"
+            )
+        key = (target, target_slot)
+        if key in self._core_owner:
+            raise SimulationError(
+                f"core {target} slot {target_slot} already runs "
+                f"{self._core_owner[key]}"
+            )
+        thread.core = target
+        thread.slot = target_slot
+        self._core_owner[key] = thread
+        ctx = ThreadCtx(self.machine, thread)
+        self.threads.append(thread)
+        self.contexts[tid] = ctx
+
+        def runner():
+            yield from body(ctx)
+            thread.finished = True
+            self._core_owner.pop((thread.core, thread.slot), None)
+            return None
+
+        self._procs[tid] = self.sim.process(
+            runner(), name=thread.name, delay=start_delay
+        )
+        return thread
+
+    # ------------------------------------------------------------------
+    def suspend(self, thread: SimThread) -> None:
+        """Context-switch the thread off its core (interrupt, OS tick,
+        ...).  If it is blocked on a sync instruction, the MSA SUSPEND
+        protocol kicks in (squash or ABORT, per primitive)."""
+        if thread.suspended or thread.finished:
+            return
+        thread.suspended = True
+        thread._resume_future = self.sim.future()
+        self._core_owner.pop((thread.core, thread.slot), None)
+        if self.machine.tracer.active:
+            self.machine.tracer.record(
+                "sched", thread.name, "suspend", f"core={thread.core}"
+            )
+        self.machine.sync_unit(thread.core).suspend_current(thread.slot)
+
+    def resume(
+        self,
+        thread: SimThread,
+        core: Optional[int] = None,
+        slot: Optional[int] = None,
+    ) -> None:
+        """Resume a suspended thread, optionally migrating it."""
+        if not thread.suspended:
+            raise SimulationError(f"{thread} is not suspended")
+        target = thread.core if core is None else core
+        target_slot = thread.slot if slot is None else slot
+        if (target, target_slot) in self._core_owner:
+            raise SimulationError(
+                f"cannot resume {thread} on busy core {target} "
+                f"slot {target_slot}"
+            )
+        self._core_owner[(target, target_slot)] = thread
+        migrated = target != thread.core
+        thread.core = target
+        thread.slot = target_slot
+        if self.machine.tracer.active:
+            self.machine.tracer.record(
+                "sched",
+                thread.name,
+                "migrate" if migrated else "resume",
+                f"core={target}",
+            )
+        latency = self.machine.params.core.context_switch_latency
+        resume_future = thread._resume_future
+
+        def do_resume():
+            thread.suspended = False
+            thread.resume_count += 1
+            thread._resume_future = None
+            resume_future.complete(None)
+
+        self.sim.schedule(latency, do_resume)
+
+    # ------------------------------------------------------------------
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self.threads)
+
+    def check_for_deadlock(self) -> None:
+        """Called when the event queue drains: any unfinished thread is
+        deadlocked (blocked on a future nothing will complete)."""
+        stuck = [t for t in self.threads if not t.finished]
+        if stuck:
+            raise DeadlockError(
+                f"{len(stuck)} thread(s) never finished: "
+                + ", ".join(t.name for t in stuck[:8]),
+                blocked=stuck,
+            )

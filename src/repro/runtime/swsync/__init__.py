@@ -1,0 +1,19 @@
+"""Software synchronization implementations, executed operation-by-
+operation through the simulated coherent memory system.
+
+* :mod:`mutex` -- pthread-style futex mutex (the paper's baseline)
+* :mod:`spinlock` -- test-and-test-and-set spinlock with backoff
+* :mod:`ticket` -- ticket lock (FIFO fairness, still one hot line)
+* :mod:`mcs` -- MCS queue lock (local spinning; the "MCS" half of the
+  paper's advanced-software MCS-Tour configuration)
+* :mod:`barrier` -- centralized sense-reversing barriers (futex- and
+  spin-release variants)
+* :mod:`tournament` -- tournament barrier (the "Tour" half of MCS-Tour)
+* :mod:`condvar` -- pthread-style condition variables over the futex
+  service, parameterized by lock implementation (needed by the paper's
+  ``sw_cond_wait``, section 4.3.3)
+"""
+
+from repro.runtime.swsync.registry import SwStateRegistry
+
+__all__ = ["SwStateRegistry"]

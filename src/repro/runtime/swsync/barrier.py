@@ -1,0 +1,61 @@
+"""Centralized sense-reversing barriers.
+
+Two release flavors over the same arrival protocol (atomic fetch-add on
+a shared counter, last arrival flips the sense word):
+
+* :class:`FutexBarrier` -- waiters sleep in the (modeled) kernel, the
+  releaser futex-wakes all of them; this is the pthread_barrier_wait
+  baseline, whose release cost grows linearly with participants.
+* :class:`SpinBarrier` -- waiters spin on the sense word; release is
+  one store plus an invalidation/refill storm across all spinners.
+
+Layout: slot 0 = arrival count, slot 1 = sense.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.types import Address
+from repro.runtime.swsync.registry import SwStateRegistry
+
+_COUNT_SLOT = 0
+_SENSE_SLOT = 1
+
+
+class FutexBarrier:
+    def __init__(self, futex):
+        self.futex = futex
+
+    def wait(self, th, addr: Address, goal: int) -> Generator:
+        yield 16  # pthread_barrier_wait call overhead
+        sense_addr = SwStateRegistry.word(addr, _SENSE_SLOT)
+        sense = yield from th.load(sense_addr)
+        arrived = yield from th.fetch_add(
+            SwStateRegistry.word(addr, _COUNT_SLOT), 1
+        )
+        if arrived + 1 == goal:
+            yield from th.store(SwStateRegistry.word(addr, _COUNT_SLOT), 0)
+            yield from th.store(sense_addr, 1 - sense)
+            yield from self.futex.wake(th, sense_addr, goal - 1)
+            return
+        while True:
+            yield from self.futex.wait(th, sense_addr, sense)
+            value = yield from th.load(sense_addr)
+            if value != sense:
+                return
+
+
+class SpinBarrier:
+    def wait(self, th, addr: Address, goal: int) -> Generator:
+        yield 10  # call overhead
+        sense_addr = SwStateRegistry.word(addr, _SENSE_SLOT)
+        sense = yield from th.load(sense_addr)
+        arrived = yield from th.fetch_add(
+            SwStateRegistry.word(addr, _COUNT_SLOT), 1
+        )
+        if arrived + 1 == goal:
+            yield from th.store(SwStateRegistry.word(addr, _COUNT_SLOT), 0)
+            yield from th.store(sense_addr, 1 - sense)
+            return
+        yield from th.spin_until(sense_addr, lambda v: v != sense)

@@ -1,0 +1,70 @@
+"""pthread-style condition variables over the futex service.
+
+The lock operations are injected, because the paper's hybrid runtime
+needs a ``sw_cond_wait`` whose internal lock/unlock calls are the
+hardware-with-software-fallback functions of Algorithm 1 (section
+4.3.3) -- the condvar may run in software while its mutex runs in
+hardware.
+
+Layout: slot 0 = wake sequence number (futex word), slot 1 = waiter
+count.  The signal/broadcast fast path skips the kernel entirely when
+no waiter is registered, like glibc.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.common.types import Address
+from repro.runtime.swsync.registry import SwStateRegistry
+
+_SEQ_SLOT = 0
+_WAITERS_SLOT = 1
+
+
+class FutexCondVar:
+    def __init__(self, futex):
+        self.futex = futex
+
+    def wait(
+        self,
+        th,
+        cond: Address,
+        lock: Address,
+        lock_fn: Callable,
+        unlock_fn: Callable,
+    ) -> Generator:
+        yield 18  # pthread_cond_wait call overhead
+        seq_addr = SwStateRegistry.word(cond, _SEQ_SLOT)
+        seq = yield from th.load(seq_addr)
+        yield from th.fetch_add(SwStateRegistry.word(cond, _WAITERS_SLOT), 1)
+        yield from unlock_fn(th, lock)
+        while True:
+            yield from self.futex.wait(th, seq_addr, seq)
+            value = yield from th.load(seq_addr)
+            if value != seq:
+                break
+        yield from th.fetch_add(SwStateRegistry.word(cond, _WAITERS_SLOT), -1)
+        yield from lock_fn(th, lock)
+
+    def signal(self, th, cond: Address) -> Generator:
+        waiters = yield from th.load(
+            SwStateRegistry.word(cond, _WAITERS_SLOT)
+        )
+        if waiters <= 0:
+            return
+        yield from th.fetch_add(SwStateRegistry.word(cond, _SEQ_SLOT), 1)
+        yield from self.futex.wake(
+            th, SwStateRegistry.word(cond, _SEQ_SLOT), 1
+        )
+
+    def broadcast(self, th, cond: Address) -> Generator:
+        waiters = yield from th.load(
+            SwStateRegistry.word(cond, _WAITERS_SLOT)
+        )
+        if waiters <= 0:
+            return
+        yield from th.fetch_add(SwStateRegistry.word(cond, _SEQ_SLOT), 1)
+        yield from self.futex.wake(
+            th, SwStateRegistry.word(cond, _SEQ_SLOT), 1 << 30
+        )

@@ -1,0 +1,59 @@
+"""MCS queue lock (Mellor-Crummey & Scott): waiters spin on a flag in
+their *own* queue node, so handoff is a single cache-to-cache transfer
+regardless of contention -- the scalable-software comparison point of
+the paper's MCS-Tour configuration.
+
+Memory layout: the lock word holds the queue-tail node address (0 =
+free).  Each (lock, thread) pair gets a private node line from the
+state registry; slot 0 is ``next`` (successor node address, 0 = none),
+slot 1 is ``locked`` (1 = spin, 0 = granted).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.types import Address
+from repro.runtime.swsync.registry import SwStateRegistry
+
+_NEXT_SLOT = 0
+_LOCKED_SLOT = 1
+
+
+class MCSLock:
+    def __init__(self, registry: SwStateRegistry):
+        self.registry = registry
+
+    def _node(self, th, addr: Address) -> Address:
+        return self.registry.private_line("mcs", addr, th.tid)
+
+    def lock(self, th, addr: Address) -> Generator:
+        yield 16  # call overhead: node setup + fenced swap micro-ops
+        node = self._node(th, addr)
+        yield from th.store(SwStateRegistry.word(node, _NEXT_SLOT), 0)
+        yield from th.store(SwStateRegistry.word(node, _LOCKED_SLOT), 1)
+        pred = yield from th.swap(addr, node)
+        if pred == 0:
+            return
+        # Link behind the predecessor and spin locally on our own node.
+        yield from th.store(SwStateRegistry.word(pred, _NEXT_SLOT), node)
+        yield from th.spin_until(
+            SwStateRegistry.word(node, _LOCKED_SLOT), lambda v: v == 0
+        )
+
+    def unlock(self, th, addr: Address) -> Generator:
+        yield 12  # call overhead
+        node = self._node(th, addr)
+        successor = yield from th.load(SwStateRegistry.word(node, _NEXT_SLOT))
+        if successor == 0:
+            old = yield from th.compare_and_swap(addr, node, 0)
+            if old == node:
+                return  # No successor: lock is free again.
+            # A successor is in the middle of enqueueing; wait for the
+            # link to appear, then hand off.
+            successor = yield from th.spin_until(
+                SwStateRegistry.word(node, _NEXT_SLOT), lambda v: v != 0
+            )
+        yield from th.store(
+            SwStateRegistry.word(successor, _LOCKED_SLOT), 0
+        )

@@ -1,0 +1,30 @@
+"""Ticket lock: FIFO-fair, but all waiters still spin on one shared
+"now serving" word (slot 1 of the lock's line), so handoff cost grows
+with the number of spinners like the TTAS lock's does."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.types import Address
+from repro.runtime.swsync.registry import SwStateRegistry
+
+_TICKET_SLOT = 0  # next ticket to hand out (the lock address itself)
+_SERVING_SLOT = 1  # now-serving counter
+
+
+class TicketLock:
+    def lock(self, th, addr: Address) -> Generator:
+        my_ticket = yield from th.fetch_add(
+            SwStateRegistry.word(addr, _TICKET_SLOT), 1
+        )
+        serving_addr = SwStateRegistry.word(addr, _SERVING_SLOT)
+        serving = yield from th.load(serving_addr)
+        if serving == my_ticket:
+            return
+        yield from th.spin_until(serving_addr, lambda v: v == my_ticket)
+
+    def unlock(self, th, addr: Address) -> Generator:
+        yield from th.fetch_add(
+            SwStateRegistry.word(addr, _SERVING_SLOT), 1
+        )

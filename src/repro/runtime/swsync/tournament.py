@@ -1,0 +1,68 @@
+"""Tournament barrier (the "Tour" in the paper's MCS-Tour
+configuration).
+
+Arrival runs a log2(n)-round single-elimination bracket: in round k the
+thread whose rank is a multiple of 2^k "wins" against the partner
+rank + 2^(k-1), who signals its arrival flag and drops out to wait on
+its personal release flag.  The champion (rank 0) then releases its
+beaten partners in reverse order, and each released winner cascades the
+release down its own sub-bracket.  Every flag lives on a private line
+and every waiter spins locally, so both phases cost O(log n) cache
+transfers.
+
+Sense reversal makes the flags reusable across episodes; each thread's
+sense is thread-private state (register/TLS in a real implementation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Tuple
+
+from repro.common.types import Address
+from repro.runtime.swsync.registry import SwStateRegistry
+
+
+class TournamentBarrier:
+    def __init__(self, registry: SwStateRegistry):
+        self.registry = registry
+        self._senses: Dict[Tuple[int, Address], int] = {}
+
+    def _arrival_flag(self, barrier: Address, rnd: int, winner: int) -> Address:
+        return self.registry.private_line("tour_arrive", barrier, rnd, winner)
+
+    def _release_flag(self, barrier: Address, rank: int) -> Address:
+        return self.registry.private_line("tour_release", barrier, rank)
+
+    def wait(self, th, addr: Address, goal: int) -> Generator:
+        yield 18  # call overhead: round/role computation
+        rank = th.tid % goal
+        key = (th.tid, addr)
+        sense = 1 - self._senses.get(key, 0)
+        self._senses[key] = sense
+
+        beaten = []
+        lost = False
+        rnd = 1
+        while (1 << (rnd - 1)) < goal:
+            step = 1 << (rnd - 1)
+            if rank % (1 << rnd) == 0:
+                partner = rank + step
+                if partner < goal:
+                    beaten.append(partner)
+                    yield from th.spin_until(
+                        self._arrival_flag(addr, rnd, rank),
+                        lambda v, want=sense: v == want,
+                    )
+                rnd += 1
+                continue
+            winner = rank - step
+            yield from th.store(self._arrival_flag(addr, rnd, winner), sense)
+            lost = True
+            break
+
+        if lost:
+            yield from th.spin_until(
+                self._release_flag(addr, rank), lambda v, want=sense: v == want
+            )
+        for partner in reversed(beaten):
+            yield from th.store(self._release_flag(addr, partner), sense)

@@ -1,0 +1,183 @@
+"""Simulated threads.
+
+A thread body is a generator function taking a :class:`ThreadCtx` and
+composing the context's operation helpers with ``yield from``::
+
+    def body(th):
+        yield from th.compute(100)
+        value = yield from th.load(addr)
+        result = yield from th.sync(SyncOp.LOCK, lock_addr)
+
+The context routes memory operations to the thread's *current* core
+(migration changes the core), implements the suspend/squash/re-execute
+protocol for synchronization instructions, and records per-thread stats.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatSet
+from repro.common.types import Address, SyncOp, SyncResult, ThreadId
+from repro.msa.isa import SQUASHED
+from repro.sim.kernel import Future, Simulator
+
+
+class SimThread:
+    """Bookkeeping for one software thread."""
+
+    def __init__(self, tid: ThreadId, name: str = ""):
+        self.tid = tid
+        self.name = name or f"thread{tid}"
+        self.core: Optional[int] = None
+        self.slot: int = 0
+        """Hardware thread context on the core (SMT slot)."""
+
+        self.suspended = False
+        self.finished = False
+        self.resume_count = 0
+        """Incremented on every resume: lets services detect that a
+        suspension interleaved with a multi-step operation (e.g. the
+        futex check-and-sleep, which must be atomic)."""
+
+        self._resume_future: Optional[Future] = None
+
+    def __repr__(self) -> str:
+        return f"SimThread({self.name}, core={self.core})"
+
+
+class ThreadCtx:
+    """The execution context handed to a thread body.
+
+    Wired up by the scheduler: ``machine`` must expose ``sim``,
+    ``memory_system(core)``, ``sync_unit(core)``, and ``sync_library``.
+    """
+
+    def __init__(self, machine, thread: SimThread):
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.thread = thread
+        self.stats = StatSet(f"thread.{thread.tid}")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def tid(self) -> ThreadId:
+        return self.thread.tid
+
+    @property
+    def core(self) -> int:
+        if self.thread.core is None:
+            raise SimulationError(f"{self.thread} is not scheduled on a core")
+        return self.thread.core
+
+    # ------------------------------------------------------------------
+    # Primitive operations (all used with ``yield from``)
+    # ------------------------------------------------------------------
+    def compute(self, cycles: int) -> Generator:
+        """Spend ``cycles`` of local computation."""
+        if cycles > 0:
+            yield cycles
+        return None
+
+    def load(self, addr: Address) -> Generator:
+        value = yield self.machine.memory_system(self.core).load(addr)
+        yield from self._absorb_suspension()
+        return value
+
+    def store(self, addr: Address, value: int) -> Generator:
+        yield self.machine.memory_system(self.core).store(addr, value)
+        yield from self._absorb_suspension()
+        return None
+
+    def rmw(self, addr: Address, fn) -> Generator:
+        """Atomic read-modify-write; returns the old value."""
+        old = yield self.machine.memory_system(self.core).rmw(addr, fn)
+        yield from self._absorb_suspension()
+        return old
+
+    def fetch_add(self, addr: Address, delta: int = 1) -> Generator:
+        old = yield from self.rmw(addr, lambda v: v + delta)
+        return old
+
+    def test_and_set(self, addr: Address) -> Generator:
+        old = yield from self.rmw(addr, lambda v: 1)
+        return old
+
+    def swap(self, addr: Address, new: int) -> Generator:
+        old = yield from self.rmw(addr, lambda v: new)
+        return old
+
+    def compare_and_swap(self, addr: Address, expect: int, new: int) -> Generator:
+        old = yield from self.rmw(addr, lambda v: new if v == expect else v)
+        return old
+
+    def sync(self, op: SyncOp, addr: Address, aux: int = 0) -> Generator:
+        """Execute a hardware synchronization instruction (section 3's
+        ISA); returns a :class:`SyncResult`.
+
+        Handles the suspension protocol: a squashed LOCK re-executes
+        after resume (possibly on a different core), and any result that
+        lands while the thread is suspended is consumed only after
+        resume (paper sections 4.1.2 / 4.3.2).
+        """
+        while True:
+            result = yield self.machine.sync_unit(self.core).issue(
+                op, addr, aux, slot=self.thread.slot
+            )
+            if result is SQUASHED:
+                self.stats.counter("sync_squashed").inc()
+                yield from self._absorb_suspension()
+                continue
+            yield from self._absorb_suspension()
+            self.stats.counter(f"sync.{op.value}.{result.value}").inc()
+            return result
+
+    def spin_until(self, addr: Address, predicate, max_backoff: int = 64) -> Generator:
+        """Software spin-wait: poll ``addr`` through the cache until
+        ``predicate(value)`` holds, with capped exponential backoff
+        between polls (bounds simulation event count the same way real
+        spin loops insert pause instructions)."""
+        backoff = 4
+        while True:
+            value = yield from self.load(addr)
+            if predicate(value):
+                return value
+            self.stats.counter("spin_polls").inc()
+            yield backoff
+            backoff = min(max_backoff, backoff * 2)
+
+    # ------------------------------------------------------------------
+    # Suspension plumbing
+    # ------------------------------------------------------------------
+    def _absorb_suspension(self) -> Generator:
+        """If the scheduler suspended this thread, park until resumed."""
+        while self.thread.suspended:
+            future = self.thread._resume_future
+            if future is None:
+                raise SimulationError(f"{self.thread} suspended without resume token")
+            yield future
+        return None
+
+    # ------------------------------------------------------------------
+    # High-level synchronization API (delegates to the machine's library)
+    # ------------------------------------------------------------------
+    def lock(self, addr: Address) -> Generator:
+        yield from self.machine.sync_library.lock(self, addr)
+
+    def unlock(self, addr: Address) -> Generator:
+        yield from self.machine.sync_library.unlock(self, addr)
+
+    def barrier(self, addr: Address, goal: int) -> Generator:
+        yield from self.machine.sync_library.barrier(self, addr, goal)
+
+    def cond_wait(self, cond: Address, lock: Address) -> Generator:
+        yield from self.machine.sync_library.cond_wait(self, cond, lock)
+
+    def cond_signal(self, cond: Address) -> Generator:
+        yield from self.machine.sync_library.cond_signal(self, cond)
+
+    def cond_broadcast(self, cond: Address) -> Generator:
+        yield from self.machine.sync_library.cond_broadcast(self, cond)

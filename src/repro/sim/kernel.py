@@ -1,0 +1,206 @@
+"""Event heap, simulation clock, futures, and coroutine processes.
+
+Design notes
+------------
+The machine model mixes two styles:
+
+* *Callback-driven* hardware components (routers, caches, MSA slices)
+  schedule plain callbacks with :meth:`Simulator.schedule`.
+* *Coroutine* processes (simulated threads, workload kernels) are Python
+  generators that ``yield`` either an ``int``/:class:`Delay` (advance the
+  clock) or a :class:`Future` (block until some hardware event fulfils
+  it).  Sub-routines compose with ``yield from``.
+
+Events at the same timestamp fire in scheduling order (a monotonically
+increasing sequence number breaks ties), which makes runs bit-for-bit
+deterministic for a given seed and configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Explicit delay request a process may yield (equivalent to yielding
+    the plain integer, but self-documenting at call sites)."""
+
+    cycles: int
+
+
+class Future:
+    """A one-shot completion token.
+
+    Hardware fulfils a future with :meth:`complete`; at most one process
+    may wait on it (the machine's request/response protocols are all
+    point-to-point), plus any number of callbacks may observe it.
+    """
+
+    __slots__ = ("sim", "_done", "_value", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("Future read before completion")
+        return self._value
+
+    def complete(self, value: Any = None) -> None:
+        """Fulfil the future *now*; waiters resume at the current cycle."""
+        if self._done:
+            raise SimulationError("Future completed twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def complete_at(self, delay: int, value: Any = None) -> None:
+        """Fulfil the future ``delay`` cycles from now."""
+        self.sim.schedule(delay, lambda: self.complete(value))
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        if self._done:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """Drives a generator coroutine through the simulator.
+
+    The generator may yield:
+
+    * ``int`` or :class:`Delay` -- resume after that many cycles,
+    * :class:`Future` -- resume (with the future's value sent in) when
+      the future completes.
+
+    When the generator returns, :attr:`finished` becomes true and
+    :attr:`result` holds its return value; :attr:`on_exit` (a Future)
+    completes so parents can join.
+    """
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "?"):
+        self.sim = sim
+        self.body = body
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.on_exit = Future(sim)
+        self._waiting_on: Optional[Future] = None
+
+    def start(self, delay: int = 0) -> "Process":
+        self.sim.schedule(delay, lambda: self._step(None))
+        return self
+
+    @property
+    def blocked_on(self) -> Optional[Future]:
+        """The future this process is currently waiting on, if any
+        (used by deadlock diagnostics)."""
+        return self._waiting_on
+
+    def _step(self, send_value: Any) -> None:
+        self._waiting_on = None
+        try:
+            yielded = self.body.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.on_exit.complete(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            self.sim.schedule(yielded, lambda: self._step(None))
+        elif isinstance(yielded, Delay):
+            self.sim.schedule(yielded.cycles, lambda: self._step(None))
+        elif isinstance(yielded, Future):
+            self._waiting_on = yielded
+            yielded.add_callback(self._step)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value "
+                f"{yielded!r}; yield an int, Delay, or Future"
+            )
+
+
+class Simulator:
+    """The event heap and clock."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List = []
+        self._seq = 0
+        self._events_processed = 0
+        self._processes: List[Process] = []
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now (0 = this cycle,
+        after currently executing events)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def future(self) -> Future:
+        return Future(self)
+
+    def process(self, body: ProcessBody, name: str = "?", delay: int = 0) -> Process:
+        """Create and start a coroutine process."""
+        proc = Process(self, body, name=name)
+        self._processes.append(proc)
+        return proc.start(delay)
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Drain the event heap.
+
+        Returns the final simulation time.  ``until`` bounds the clock;
+        ``max_events`` bounds work (guards against livelock in tests).
+        """
+        while self._heap:
+            when, _seq, callback = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            self._events_processed += 1
+            if max_events is not None and self._events_processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at cycle {self.now}"
+                )
+            callback()
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def unfinished_processes(self) -> List[Process]:
+        return [p for p in self._processes if not p.finished]

@@ -1,0 +1,99 @@
+"""Structured event tracing.
+
+A machine-wide :class:`Tracer` collects timestamped, categorized events
+from any component.  Tracing is off by default (a disabled tracer costs
+one attribute check per call site); enable categories selectively::
+
+    machine.tracer.enable("msa", "sched")
+    ...
+    for event in machine.tracer.events:
+        print(event)
+    print(machine.tracer.format(limit=50))
+
+Categories used by the built-in components: ``msa`` (slice decisions),
+``omu`` (counter changes), ``sched`` (suspend/resume/migrate),
+``sync`` (core-side instruction issue/complete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: int
+    category: str
+    where: str
+    what: str
+    detail: Tuple = ()
+
+    def __str__(self) -> str:
+        detail = " ".join(str(d) for d in self.detail)
+        return f"[{self.time:>8}] {self.category:<6} {self.where:<12} {self.what} {detail}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for enabled categories."""
+
+    def __init__(self, sim, max_events: int = 100_000):
+        self.sim = sim
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._enabled: Set[str] = set()
+        self.dropped = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._enabled)
+
+    def enable(self, *categories: str) -> None:
+        self._enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        if categories:
+            self._enabled.difference_update(categories)
+        else:
+            self._enabled.clear()
+
+    def record(self, category: str, where: str, what: str, *detail) -> None:
+        """Record an event if its category is enabled."""
+        if category not in self._enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(self.sim.now, category, where, what, tuple(detail))
+        )
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        where: Optional[str] = None,
+        what: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        out = self.events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if where is not None:
+            out = [e for e in out if e.where == where]
+        if what is not None:
+            out = [e for e in out if e.what == what]
+        return out
+
+    def format(self, limit: int = 200, **filters) -> str:
+        events = self.filter(**filters)[-limit:]
+        lines = [str(e) for e in events]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at capacity)")
+        return "\n".join(lines)
+
+    def counts(self) -> Dict[Tuple[str, str], int]:
+        """(category, what) -> occurrence count."""
+        out: Dict[Tuple[str, str], int] = {}
+        for e in self.events:
+            key = (e.category, e.what)
+            out[key] = out.get(key, 0) + 1
+        return out

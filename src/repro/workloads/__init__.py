@@ -1,0 +1,7 @@
+"""Workloads: Figure-5 latency microbenchmarks and the synthetic
+application kernels whose synchronization signatures mirror the
+Splash-2/PARSEC applications highlighted in the paper's evaluation."""
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+__all__ = ["Workload", "WorkloadEnv"]

@@ -1,0 +1,50 @@
+"""barnes analog: N-body tree code -- long force-computation phases with
+only a handful of barrier episodes and a tree-build lock burst.  Low
+synchronization density, so every configuration performs about the
+same (pulls the suite geomean down, like the paper's 26-app average)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    timesteps = max(1, int(3 * scale))
+    force_compute = 9000
+
+    def make_threads(env: WorkloadEnv):
+        build_locks = 2 * n_threads
+        barrier = env.allocator.sync_var()
+        locks = [env.allocator.sync_var() for _ in range(build_locks)]
+        nodes = [env.allocator.line() for _ in range(build_locks)]
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            def body(th):
+                for step in range(timesteps):
+                    # Tree build: short burst of insertions.
+                    for k in range(3):
+                        c = (i + k) % build_locks
+                        yield from th.lock(locks[c])
+                        v = yield from th.load(nodes[c])
+                        yield from th.store(nodes[c], v + 1)
+                        yield from th.unlock(locks[c])
+                    yield from th.barrier(barrier, n_threads)
+                    # Dominant force phase: pure compute.
+                    yield from th.compute(force_compute)
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="barnes",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "low-sync"),
+    )

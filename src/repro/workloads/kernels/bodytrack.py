@@ -1,0 +1,75 @@
+"""bodytrack analog: a persistent thread pool dispatched per frame
+through a condition variable, with a barrier-equivalent join -- PARSEC
+bodytrack's worker-pool synchronization (condvar broadcast to start a
+phase, atomic work counter, barrier to finish)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    frames = max(2, int(4 * scale))
+    particles_per_frame = n_threads * 3
+    particle_compute = 600
+
+    def make_threads(env: WorkloadEnv):
+        pool_lock = env.allocator.sync_var()
+        pool_cond = env.allocator.sync_var()
+        frame_no = env.allocator.line()
+        work = env.allocator.line()
+        join_barrier = env.allocator.sync_var()
+        processed = env.shared.setdefault("processed", [0])
+
+        def worker(th):
+            for frame in range(frames):
+                # Wait for the frame to be dispatched.
+                yield from th.lock(pool_lock)
+                while True:
+                    current = yield from th.load(frame_no)
+                    if current > frame:
+                        break
+                    yield from th.cond_wait(pool_cond, pool_lock)
+                yield from th.unlock(pool_lock)
+                # Pull particle-evaluation work until the frame drains.
+                while True:
+                    remaining = yield from th.fetch_add(work, -1)
+                    if remaining <= 0:
+                        break
+                    processed[0] += 1
+                    yield from th.compute(particle_compute)
+                yield from th.barrier(join_barrier, n_threads)
+
+        def dispatcher(th):
+            for frame in range(frames):
+                yield from th.compute(300)  # model update
+                yield from th.store(work, particles_per_frame)
+                yield from th.lock(pool_lock)
+                yield from th.store(frame_no, frame + 1)
+                yield from th.cond_broadcast(pool_cond)
+                yield from th.unlock(pool_lock)
+                # The dispatcher joins the workers for the frame.
+                while True:
+                    remaining = yield from th.fetch_add(work, -1)
+                    if remaining <= 0:
+                        break
+                    processed[0] += 1
+                    yield from th.compute(particle_compute)
+                yield from th.barrier(join_barrier, n_threads)
+
+        return [worker] * (n_threads - 1) + [dispatcher]
+
+    def validate(env: WorkloadEnv):
+        expected = frames * particles_per_frame
+        env.expect(
+            env.shared["processed"][0] == expected,
+            f"processed {env.shared['processed'][0]} != {expected}",
+        )
+
+    return Workload(
+        name="bodytrack",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "condvar", "mixed"),
+    )

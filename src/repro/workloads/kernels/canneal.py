@@ -1,0 +1,55 @@
+"""canneal analog: lock-free simulated annealing -- atomic swaps of
+random netlist elements with almost no blocking synchronization (one
+temperature-step barrier).  Near-1.0 speedup under any accelerator."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    steps = max(1, int(3 * scale))
+    swaps_per_step = 10
+    eval_compute = 2000
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        elements = [env.allocator.line() for _ in range(4 * n_threads)]
+        done = env.shared.setdefault("done", [0])
+        rng = env.rng
+
+        def mkbody(i):
+            picks = [
+                (
+                    rng.randint(0, len(elements) - 1),
+                    rng.randint(0, len(elements) - 1),
+                )
+                for _ in range(steps * swaps_per_step)
+            ]
+
+            def body(th):
+                k = 0
+                for step in range(steps):
+                    for _ in range(swaps_per_step):
+                        a, b = picks[k]
+                        k += 1
+                        yield from th.compute(eval_compute)
+                        # Atomic swap protocol: CAS-claim both elements.
+                        yield from th.fetch_add(elements[a], 1)
+                        yield from th.fetch_add(elements[b], 1)
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="canneal",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "low-sync"),
+    )

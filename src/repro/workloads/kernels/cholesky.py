@@ -1,0 +1,59 @@
+"""cholesky analog: sparse-factorization task queue with dependency
+counters -- a central task lock of moderate contention plus per-column
+locks, little barrier use."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+from repro.workloads.kernels.common import SharedCounterQueue
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    supernodes = max(n_threads * 2, int(n_threads * 5 * scale))
+    factor_compute = 700
+
+    def make_threads(env: WorkloadEnv):
+        queue = SharedCounterQueue(env, supernodes)
+        # One lock per matrix column: the lock address footprint scales
+        # with the problem, far past the accelerator's entry count.
+        column_locks = 4 * n_threads
+        locks = [env.allocator.sync_var() for _ in range(column_locks)]
+        columns = [env.allocator.line() for _ in range(column_locks)]
+        executed = env.shared.setdefault("executed", [0])
+
+        def mkbody(i):
+            def body(th):
+                k = 0
+                while True:
+                    got = yield from queue.try_pop(th)
+                    if not got:
+                        return
+                    executed[0] += 1
+                    yield from th.compute(factor_compute)
+                    # Scatter updates into two target columns.
+                    for c in (
+                        (i * 5 + k) % column_locks,
+                        (i * 5 + k + 7) % column_locks,
+                    ):
+                        yield from th.lock(locks[c])
+                        v = yield from th.load(columns[c])
+                        yield from th.store(columns[c], v + 1)
+                        yield from th.unlock(locks[c])
+                    k += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(
+            env.shared["executed"][0] == supernodes,
+            f"supernodes {env.shared['executed'][0]} != {supernodes}",
+        )
+
+    return Workload(
+        name="cholesky",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "lock-heavy"),
+    )

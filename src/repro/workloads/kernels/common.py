@@ -1,0 +1,112 @@
+"""Shared building blocks for the synthetic kernels."""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.workloads.base import WorkloadEnv
+
+
+class SharedCounterQueue:
+    """A task queue modeled as a counted slot protected by a lock, the
+    structure radiosity/cholesky-style work stealing revolves around.
+
+    The count lives in simulated memory; executed-task accounting for
+    validation is Python-side (no extra simulated traffic).
+    """
+
+    def __init__(self, env: WorkloadEnv, initial_tasks: int, home=None):
+        self.lock = env.allocator.sync_var(home=home)
+        self.count_addr = env.allocator.line()
+        env.machine.memory.poke(self.count_addr, initial_tasks)
+        self.initial = initial_tasks
+
+    def try_pop(self, th) -> Generator:
+        """Returns True and decrements under the lock if non-empty."""
+        yield from th.lock(self.lock)
+        n = yield from th.load(self.count_addr)
+        popped = n > 0
+        if popped:
+            yield from th.store(self.count_addr, n - 1)
+        yield from th.unlock(self.lock)
+        return popped
+
+    def push(self, th, amount: int = 1) -> Generator:
+        yield from th.lock(self.lock)
+        n = yield from th.load(self.count_addr)
+        yield from th.store(self.count_addr, n + amount)
+        yield from th.unlock(self.lock)
+        return None
+
+
+class BoundedQueue:
+    """A bounded producer/consumer queue built on one lock and two
+    condition variables (not-empty / not-full) -- the structure PARSEC's
+    pipeline applications (dedup, ferret) synchronize on.
+
+    Items are counted, not stored: the kernels only need the
+    synchronization behaviour.  A ``closed`` flag supports end-of-stream
+    (broadcast so all consumers drain and exit).
+    """
+
+    def __init__(self, env: WorkloadEnv, capacity: int):
+        self.capacity = capacity
+        self.lock = env.allocator.sync_var()
+        self.not_empty = env.allocator.sync_var()
+        self.not_full = env.allocator.sync_var()
+        self.count_addr = env.allocator.line()
+        self.closed_addr = env.allocator.line()
+
+    def put(self, th) -> Generator:
+        yield from th.lock(self.lock)
+        while True:
+            n = yield from th.load(self.count_addr)
+            if n < self.capacity:
+                break
+            yield from th.cond_wait(self.not_full, self.lock)
+        yield from th.store(self.count_addr, n + 1)
+        yield from th.cond_signal(self.not_empty)
+        yield from th.unlock(self.lock)
+        return None
+
+    def get(self, th) -> Generator:
+        """Returns True when an item was taken, False on closed+empty."""
+        yield from th.lock(self.lock)
+        while True:
+            n = yield from th.load(self.count_addr)
+            if n > 0:
+                break
+            closed = yield from th.load(self.closed_addr)
+            if closed:
+                yield from th.unlock(self.lock)
+                return False
+            yield from th.cond_wait(self.not_empty, self.lock)
+        yield from th.store(self.count_addr, n - 1)
+        yield from th.cond_signal(self.not_full)
+        yield from th.unlock(self.lock)
+        return True
+
+    def close(self, th) -> Generator:
+        yield from th.lock(self.lock)
+        yield from th.store(self.closed_addr, 1)
+        yield from th.cond_broadcast(self.not_empty)
+        yield from th.unlock(self.lock)
+        return None
+
+
+def stencil_phase(th, tiles: List[int], reads_per_tile: int) -> Generator:
+    """Read a halo of shared lines (stencil-exchange flavor): generates
+    the post-barrier coherence-miss burst ocean-style codes exhibit."""
+    for base in tiles:
+        for k in range(reads_per_tile):
+            yield from th.load(base + 64 * k)
+    return None
+
+
+def touch_and_update(th, addr: int, compute: int) -> Generator:
+    """Read-modify-write a private line with some compute: the body of
+    a typical critical section."""
+    value = yield from th.load(addr)
+    yield from th.compute(compute)
+    yield from th.store(addr, value + 1)
+    return None

@@ -1,0 +1,75 @@
+"""dedup analog: a three-stage compression pipeline connected by
+bounded queues (lock + two condition variables each) -- PARSEC dedup's
+dominant synchronization.  Condvar-heavy, modest lock contention."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+from repro.workloads.kernels.common import BoundedQueue
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    if n_threads < 4:
+        raise ValueError("dedup needs at least 4 threads (3 stages + source)")
+    chunks = max(8, int(n_threads * 3 * scale))
+    stage_compute = (300, 900, 500)  # fragment, compress, write
+
+    def make_threads(env: WorkloadEnv):
+        q_frag = BoundedQueue(env, capacity=4)
+        q_comp = BoundedQueue(env, capacity=4)
+        written = env.shared.setdefault("written", [0])
+        live_compressors = env.allocator.line()
+
+        # Worker split: 1 fragmenter (source), remaining threads split
+        # between compressors and writers (compress is the heavy stage).
+        n_rest = n_threads - 1
+        n_compress = max(1, (2 * n_rest) // 3)
+        n_write = max(1, n_rest - n_compress)
+        env.machine.memory.poke(live_compressors, n_compress)
+
+        def fragmenter(th):
+            for _ in range(chunks):
+                yield from th.compute(stage_compute[0])
+                yield from q_frag.put(th)
+            yield from q_frag.close(th)
+
+        def compressor(th):
+            while True:
+                got = yield from q_frag.get(th)
+                if not got:
+                    break
+                yield from th.compute(stage_compute[1])
+                yield from q_comp.put(th)
+            # Only the last compressor to finish closes the downstream
+            # queue, so no chunk can be stranded behind the close.
+            remaining = yield from th.fetch_add(live_compressors, -1)
+            if remaining == 1:
+                yield from q_comp.close(th)
+
+        def writer(th):
+            while True:
+                got = yield from q_comp.get(th)
+                if not got:
+                    break
+                yield from th.compute(stage_compute[2])
+                written[0] += 1
+
+        return (
+            [fragmenter]
+            + [compressor] * n_compress
+            + [writer] * n_write
+        )
+
+    def validate(env: WorkloadEnv):
+        env.expect(
+            env.shared["written"][0] == chunks,
+            f"wrote {env.shared['written'][0]} of {chunks}",
+        )
+
+    return Workload(
+        name="dedup",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "condvar", "pipeline"),
+    )

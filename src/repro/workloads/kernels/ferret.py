@@ -1,0 +1,83 @@
+"""ferret analog: a four-stage similarity-search pipeline over bounded
+queues, PARSEC ferret's synchronization structure.  Like dedup but
+deeper, with ranking as the heavy stage."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+from repro.workloads.kernels.common import BoundedQueue
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    if n_threads < 5:
+        raise ValueError("ferret needs at least 5 threads (4 stages + source)")
+    queries = max(8, int(n_threads * 2 * scale))
+    stage_compute = (200, 600, 1100, 400)  # segment, extract, rank, out
+
+    def make_threads(env: WorkloadEnv):
+        queues = [BoundedQueue(env, capacity=3) for _ in range(3)]
+        ranked = env.shared.setdefault("ranked", [0])
+        live = [env.allocator.line() for _ in range(2)]
+
+        n_rest = n_threads - 2  # source + sink
+        n_extract = max(1, n_rest // 3)
+        n_rank = max(1, n_rest - n_extract)
+        env.machine.memory.poke(live[0], n_extract)
+        env.machine.memory.poke(live[1], n_rank)
+
+        def source(th):
+            for _ in range(queries):
+                yield from th.compute(stage_compute[0])
+                yield from queues[0].put(th)
+            yield from queues[0].close(th)
+
+        def extractor(th):
+            while True:
+                got = yield from queues[0].get(th)
+                if not got:
+                    break
+                yield from th.compute(stage_compute[1])
+                yield from queues[1].put(th)
+            remaining = yield from th.fetch_add(live[0], -1)
+            if remaining == 1:
+                yield from queues[1].close(th)
+
+        def ranker(th):
+            while True:
+                got = yield from queues[1].get(th)
+                if not got:
+                    break
+                yield from th.compute(stage_compute[2])
+                yield from queues[2].put(th)
+            remaining = yield from th.fetch_add(live[1], -1)
+            if remaining == 1:
+                yield from queues[2].close(th)
+
+        def sink(th):
+            while True:
+                got = yield from queues[2].get(th)
+                if not got:
+                    break
+                yield from th.compute(stage_compute[3])
+                ranked[0] += 1
+
+        return (
+            [source]
+            + [extractor] * n_extract
+            + [ranker] * n_rank
+            + [sink]
+        )
+
+    def validate(env: WorkloadEnv):
+        env.expect(
+            env.shared["ranked"][0] == queries,
+            f"ranked {env.shared['ranked'][0]} of {queries}",
+        )
+
+    return Workload(
+        name="ferret",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "condvar", "pipeline"),
+    )

@@ -1,0 +1,45 @@
+"""fmm analog: fast-multipole method -- interaction-list compute with a
+few inter-phase barriers and light per-cell locking."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    phases = max(2, int(4 * scale))
+    list_compute = 4200
+
+    def make_threads(env: WorkloadEnv):
+        cell_locks = 4 * n_threads
+        barrier = env.allocator.sync_var()
+        locks = [env.allocator.sync_var() for _ in range(cell_locks)]
+        cells = [env.allocator.line() for _ in range(cell_locks)]
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            def body(th):
+                for phase in range(phases):
+                    yield from th.compute(list_compute)
+                    for k in range(2):
+                        c = (i * 5 + phase + k) % cell_locks
+                        yield from th.lock(locks[c])
+                        v = yield from th.load(cells[c])
+                        yield from th.store(cells[c], v + 1)
+                        yield from th.unlock(locks[c])
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="fmm",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "low-sync"),
+    )

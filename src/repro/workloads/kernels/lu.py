@@ -1,0 +1,43 @@
+"""lu analog: blocked dense factorization -- one barrier per elimination
+step with large block-update compute between.  Low sync density."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    steps = max(2, int(5 * scale))
+    block_compute = 6000
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        blocks = [env.allocator.line() for _ in range(n_threads)]
+        pivot_row = env.allocator.line()
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            def body(th):
+                for step in range(steps):
+                    # Read the pivot row (shared), update own blocks.
+                    yield from th.load(pivot_row)
+                    yield from th.compute(block_compute)
+                    yield from th.store(blocks[i], step)
+                    if i == step % n_threads:
+                        yield from th.store(pivot_row, step + 1)
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="lu",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "low-sync"),
+    )

@@ -1,0 +1,47 @@
+"""ocean (contiguous partitions) analog: red/black Gauss-Seidel sweeps
+with a barrier between every sweep and halo reads from neighbor
+partitions -- barrier-heavy with real shared-memory traffic."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+from repro.workloads.kernels.common import stencil_phase
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    sweeps = max(3, int(12 * scale))
+    interior_compute = 8000
+    halo_lines = 3
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        partitions = [env.allocator.line() for _ in range(n_threads)]
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            left = partitions[(i - 1) % n_threads]
+            right = partitions[(i + 1) % n_threads]
+
+            def body(th):
+                for sweep in range(sweeps):
+                    # Halo exchange: read neighbor boundary lines.
+                    yield from stencil_phase(th, [left, right], halo_lines)
+                    # Interior update on the private partition.
+                    yield from th.compute(interior_compute)
+                    yield from th.store(partitions[i], sweep)
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="ocean",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "barrier-heavy"),
+    )

@@ -1,0 +1,58 @@
+"""ocean (non-contiguous partitions) analog.
+
+Like :mod:`ocean` but each thread's rows interleave across the grid, so
+the post-barrier phase touches many *shared* lines whose homes scatter
+over the chip.  When a fast barrier releases every thread in the same
+cycle, those misses burst into the directories simultaneously -- the
+"better is worse" effect the paper observes on 16-core ocean-nc with
+Ideal synchronization.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    sweeps = max(3, int(10 * scale))
+    rows_per_thread = 6
+    interior_compute = 4200
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        # One row per (thread, sweep-slot), interleaved so adjacent rows
+        # belong to different threads and live at different homes.
+        grid = [env.allocator.line() for _ in range(n_threads * rows_per_thread)]
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            my_rows = [grid[i + k * n_threads] for k in range(rows_per_thread)]
+            neighbor_rows = [
+                grid[(i + 1) % n_threads + k * n_threads]
+                for k in range(rows_per_thread)
+            ]
+
+            def body(th):
+                for sweep in range(sweeps):
+                    # Non-contiguous sweep: write own interleaved rows,
+                    # read the neighbor's (shared, scattered homes).
+                    for row, nrow in zip(my_rows, neighbor_rows):
+                        yield from th.load(nrow)
+                        yield from th.compute(interior_compute // rows_per_thread)
+                        yield from th.store(row, sweep)
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="ocean-nc",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "barrier-heavy"),
+    )

@@ -1,0 +1,97 @@
+"""radiosity analog: per-thread task queues with work stealing.
+
+Splash-2 radiosity uses distributed task queues, each guarded by its
+own lock; idle threads sweep other queues looking for work, so lock
+operations are frequent, spread over many addresses, and mostly
+low-contention -- the access pattern that stresses MSA entry turnover
+and the OMU (and where empty-queue search costs make even lock-op
+*count* sensitive to the implementation, the paper's MSA-0 observation).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+from repro.workloads.kernels.common import SharedCounterQueue
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    tasks_per_thread = max(4, int(14 * scale))
+    task_compute = 420
+    # Imbalanced seeding forces stealing sweeps.
+    heavy_share = 3
+
+    def make_threads(env: WorkloadEnv):
+        queues = []
+        for i in range(n_threads):
+            seeded = tasks_per_thread * (heavy_share if i % 4 == 0 else 1)
+            queues.append(SharedCounterQueue(env, seeded))
+        total = sum(q.initial for q in queues)
+        env.shared["total"] = total
+        executed = env.shared.setdefault("executed", [0])
+        # Radiosity guards every patch with its own lock; the program's
+        # lock *address footprint* is far larger than any accelerator's
+        # entry count (the paper reports thousands), which is exactly
+        # what the OMU's entry recycling exists for (Figure 7).
+        n_patches = 6 * n_threads
+        patch_locks = [env.allocator.sync_var() for _ in range(n_patches)]
+        patches = [env.allocator.line() for _ in range(n_patches)]
+
+        def mkbody(i):
+            def body(th):
+                k = 0
+                while True:
+                    got = yield from queues[i].try_pop(th)
+                    if not got:
+                        # Probe a few victims (rotating start), like
+                        # real task stealers; a full confirmation sweep
+                        # runs only before giving up.  Task counts are
+                        # monotone (no re-seeding), so an all-empty
+                        # sweep is a sound termination witness.
+                        probes = min(8, n_threads - 1)
+                        for offset in range(probes):
+                            victim = (i + k + offset + 1) % n_threads
+                            if victim == i:
+                                continue
+                            got = yield from queues[victim].try_pop(th)
+                            if got:
+                                break
+                    if not got:
+                        for victim in range(n_threads):
+                            if victim == i:
+                                continue
+                            got = yield from queues[victim].try_pop(th)
+                            if got:
+                                break
+                    if not got:
+                        return  # every queue empty: done
+                    executed[0] += 1
+                    yield from th.compute(task_compute)
+                    # Update the task's patches: mostly patches in this
+                    # thread's own region (temporal locality the HWSync
+                    # bit exploits), with an occasional remote patch.
+                    targets = [i * 6 + k % 6]
+                    if k % 4 == 0:
+                        targets.append((i * 7 + k * 3) % n_patches)
+                    for p in targets:
+                        yield from th.lock(patch_locks[p])
+                        v = yield from th.load(patches[p])
+                        yield from th.store(patches[p], v + 1)
+                        yield from th.unlock(patch_locks[p])
+                    k += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(
+            env.shared["executed"][0] == env.shared["total"],
+            f"executed {env.shared['executed'][0]} != {env.shared['total']}",
+        )
+
+    return Workload(
+        name="radiosity",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "lock-heavy"),
+    )

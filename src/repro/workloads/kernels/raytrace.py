@@ -1,0 +1,66 @@
+"""raytrace analog: ray packets pulled from one hot global work lock.
+
+Splash-2 raytrace's dominant synchronization is a single highly
+contended lock protecting the global ray-job queue (plus smaller
+per-structure locks).  Handoff latency on that hot lock gates the
+application, which is why the MSA's direct-notification handoff gives
+raytrace one of the largest speedups at 64 cores.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    total_jobs = max(n_threads * 4, int(n_threads * 8 * scale))
+    trace_compute = 260
+
+    def make_threads(env: WorkloadEnv):
+        grid_locks = 2 * n_threads
+        work_lock = env.allocator.sync_var()
+        jobs_addr = env.allocator.line()
+        env.machine.memory.poke(jobs_addr, total_jobs)
+        locks = [env.allocator.sync_var() for _ in range(grid_locks)]
+        grid = [env.allocator.line() for _ in range(grid_locks)]
+        executed = env.shared.setdefault("executed", [0])
+
+        def mkbody(i):
+            def body(th):
+                k = 0
+                while True:
+                    yield from th.lock(work_lock)
+                    n = yield from th.load(jobs_addr)
+                    if n > 0:
+                        yield from th.store(jobs_addr, n - 1)
+                    yield from th.unlock(work_lock)
+                    if n <= 0:
+                        break
+                    executed[0] += 1
+                    yield from th.compute(trace_compute)
+                    # Occasionally update a shared grid cell under its
+                    # own (lightly contended) lock.
+                    if (i + k) % 5 == 0:
+                        g = (i * 3 + k) % grid_locks
+                        yield from th.lock(locks[g])
+                        v = yield from th.load(grid[g])
+                        yield from th.store(grid[g], v + 1)
+                        yield from th.unlock(locks[g])
+                    k += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(
+            env.shared["executed"][0] == total_jobs,
+            f"jobs executed {env.shared['executed'][0]} != {total_jobs}",
+        )
+
+    return Workload(
+        name="raytrace",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "lock-heavy"),
+    )

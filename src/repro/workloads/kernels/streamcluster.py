@@ -1,0 +1,54 @@
+"""streamcluster analog: barrier-dominated streaming clustering.
+
+The real PARSEC streamcluster executes thousands of barrier episodes
+with short per-phase compute (distance evaluations over a point block)
+-- it is the paper's biggest winner (7.59x at 64 cores) because the
+pthread barrier's release cost dwarfs the phase compute.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    episodes = max(4, int(24 * scale))
+    phase_compute = 1400
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        centers_lock = env.allocator.sync_var()
+        cost_addr = env.allocator.line()
+        points = [env.allocator.line() for _ in range(n_threads)]
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            def body(th):
+                for ep in range(episodes):
+                    # Distance-evaluation phase over this thread's block.
+                    yield from th.load(points[i])
+                    yield from th.compute(phase_compute)
+                    yield from th.store(points[i], ep)
+                    # Occasionally fold a local cost into the global sum
+                    # (streamcluster's pgain does this under a lock).
+                    if i == ep % n_threads:
+                        yield from th.lock(centers_lock)
+                        cost = yield from th.load(cost_addr)
+                        yield from th.store(cost_addr, cost + 1)
+                        yield from th.unlock(centers_lock)
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="streamcluster",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "barrier-heavy"),
+    )

@@ -1,0 +1,37 @@
+"""swaptions analog: embarrassingly parallel Monte-Carlo pricing --
+statically partitioned work, a single final barrier, no locks.  The
+canonical near-1.0 data point for any synchronization accelerator."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    swaption_compute = int(120000 * max(scale, 0.2))
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        results = [env.allocator.line() for _ in range(n_threads)]
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            def body(th):
+                yield from th.compute(swaption_compute)
+                yield from th.store(results[i], 1)
+                yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+
+    return Workload(
+        name="swaptions",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "low-sync"),
+    )

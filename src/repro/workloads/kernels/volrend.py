@@ -1,0 +1,75 @@
+"""volrend analog: ray-cast volume rendering -- a work-counter lock of
+light contention (coarse tiles) plus a frame barrier, condvar-paced by
+a coordinator thread handing out frames (exercises all three
+primitives at low intensity)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    frames = max(1, int(3 * scale))
+    tiles_per_frame = n_threads * 3
+    tile_compute = 950
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        work_lock = env.allocator.sync_var()
+        tiles_addr = env.allocator.line()
+        frame_lock = env.allocator.sync_var()
+        frame_cond = env.allocator.sync_var()
+        frame_ready = env.allocator.line()
+        rendered = env.shared.setdefault("rendered", [0])
+
+        def worker(th):
+            for frame in range(frames):
+                # Wait for the coordinator to publish the frame.
+                yield from th.lock(frame_lock)
+                while True:
+                    v = yield from th.load(frame_ready)
+                    if v > frame:
+                        break
+                    yield from th.cond_wait(frame_cond, frame_lock)
+                yield from th.unlock(frame_lock)
+                # Pull tiles until the frame's work runs out.
+                while True:
+                    yield from th.lock(work_lock)
+                    n = yield from th.load(tiles_addr)
+                    if n > 0:
+                        yield from th.store(tiles_addr, n - 1)
+                    yield from th.unlock(work_lock)
+                    if n <= 0:
+                        break
+                    rendered[0] += 1
+                    yield from th.compute(tile_compute)
+                yield from th.barrier(barrier, n_threads)
+
+        def coordinator(th):
+            for frame in range(frames):
+                yield from th.compute(400)
+                yield from th.lock(work_lock)
+                yield from th.store(tiles_addr, tiles_per_frame)
+                yield from th.unlock(work_lock)
+                yield from th.lock(frame_lock)
+                yield from th.store(frame_ready, frame + 1)
+                yield from th.cond_broadcast(frame_cond)
+                yield from th.unlock(frame_lock)
+                yield from th.barrier(barrier, n_threads)
+
+        return [worker] * (n_threads - 1) + [coordinator]
+
+    def validate(env: WorkloadEnv):
+        expected = frames * tiles_per_frame
+        env.expect(
+            env.shared["rendered"][0] == expected,
+            f"tiles {env.shared['rendered'][0]} != {expected}",
+        )
+
+    return Workload(
+        name="volrend",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "mixed", "condvar"),
+    )

@@ -1,0 +1,55 @@
+"""water-spatial analog: molecular-dynamics timesteps with barriers
+between force/update phases and a modest number of accumulation locks.
+Mixed profile: barriers matter, locks are secondary."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def make(n_threads: int, scale: float = 1.0) -> Workload:
+    timesteps = max(2, int(6 * scale))
+    force_compute = 8000
+    update_compute = 3500
+    accum_locks = 4
+
+    def make_threads(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        locks = [env.allocator.sync_var() for _ in range(accum_locks)]
+        accums = [env.allocator.line() for _ in range(accum_locks)]
+        boxes = [env.allocator.line() for _ in range(n_threads)]
+        done = env.shared.setdefault("done", [0])
+
+        def mkbody(i):
+            def body(th):
+                for step in range(timesteps):
+                    # Intra-box force computation.
+                    yield from th.load(boxes[i])
+                    yield from th.compute(force_compute)
+                    # Fold per-box energies into global accumulators.
+                    g = (i + step) % accum_locks
+                    yield from th.lock(locks[g])
+                    v = yield from th.load(accums[g])
+                    yield from th.store(accums[g], v + 1)
+                    yield from th.unlock(locks[g])
+                    yield from th.barrier(barrier, n_threads)
+                    # Position update phase.
+                    yield from th.compute(update_compute)
+                    yield from th.store(boxes[i], step)
+                    yield from th.barrier(barrier, n_threads)
+                done[0] += 1
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env: WorkloadEnv):
+        env.expect(env.shared["done"][0] == n_threads, "threads lost")
+        total = sum(env.machine.memory.peek(a) for a in env.shared.get("accums", []))
+
+    return Workload(
+        name="water-sp",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        validate_fn=validate,
+        tags=("kernel", "mixed"),
+    )

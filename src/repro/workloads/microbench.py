@@ -1,0 +1,266 @@
+"""Raw synchronization-latency microbenchmarks (paper Figure 5).
+
+Five probes, each reporting a cycles-per-operation metric:
+
+* ``lock_acquire``  -- no contention: disjoint locks per thread, time
+  from entering to exiting ``lock()``.
+* ``lock_handoff``  -- high contention: all threads on one lock, time
+  from a thread entering ``unlock()`` to the released ``lock()``
+  exiting (measured as steady-state serialized throughput).
+* ``barrier_handoff`` -- time from the last arrival entering
+  ``barrier()`` to the last thread exiting.
+* ``cond_signal``   -- time from entering ``cond_signal()`` to the
+  released ``cond_wait()`` exiting.
+* ``cond_broadcast`` -- same, to the *last* released waiter's exit.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadEnv
+
+WARMUP_ITERS = 3
+
+
+def lock_acquire(n_threads: int, iters: int = 20) -> Workload:
+    """No-contention lock acquire latency: each thread has a private
+    lock homed away from it (worst-case round trip for hardware)."""
+
+    def make(env: WorkloadEnv):
+        n = env.n_cores
+        locks = [
+            env.allocator.sync_var(home=(i + n // 2) % n)
+            for i in range(n_threads)
+        ]
+        samples = env.shared.setdefault("samples", [])
+
+        def mkbody(i):
+            def body(th):
+                lock = locks[i]
+                for k in range(iters + WARMUP_ITERS):
+                    t0 = th.sim.now
+                    yield from th.lock(lock)
+                    if k >= WARMUP_ITERS:
+                        samples.append(th.sim.now - t0)
+                    yield from th.unlock(lock)
+                    yield from th.compute(150)
+            return body
+
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env):
+        samples = env.shared["samples"]
+        env.expect(len(samples) == n_threads * iters, "missing samples")
+        env.record("lock_acquire_cycles", sum(samples) / len(samples))
+
+    return Workload(
+        name="micro.lock_acquire",
+        n_threads=n_threads,
+        make_threads=make,
+        validate_fn=validate,
+        tags=("micro",),
+    )
+
+
+def lock_handoff(n_threads: int, iters: int = 8) -> Workload:
+    """High-contention handoff: all threads hammer one lock with empty
+    critical sections; steady-state cycles per handoff."""
+
+    def make(env: WorkloadEnv):
+        lock = env.allocator.sync_var()
+        env.shared["window"] = {}
+        window = env.shared["window"]
+        total_acquires = n_threads * iters
+
+        def body(th):
+            for _ in range(iters):
+                yield from th.lock(lock)
+                window.setdefault("start", th.sim.now)
+                window["end"] = th.sim.now
+                window["count"] = window.get("count", 0) + 1
+                yield from th.unlock(lock)
+
+        return [body] * n_threads
+
+    def validate(env):
+        window = env.shared["window"]
+        env.expect(window["count"] == n_threads * iters, "missing acquires")
+        span = window["end"] - window["start"]
+        env.record("lock_handoff_cycles", span / max(1, window["count"] - 1))
+
+    return Workload(
+        name="micro.lock_handoff",
+        n_threads=n_threads,
+        make_threads=make,
+        validate_fn=validate,
+        tags=("micro",),
+    )
+
+
+def barrier_handoff(n_threads: int, episodes: int = 10) -> Workload:
+    """Barrier release latency: last arrival to last exit, averaged
+    over episodes (staggered arrivals so the last arriver is known)."""
+
+    def make(env: WorkloadEnv):
+        barrier = env.allocator.sync_var()
+        state = env.shared.setdefault("episodes", [])
+        arrivals = {}
+        exits = {}
+
+        def mkbody(i):
+            def body(th):
+                for ep in range(episodes + 1):
+                    yield from th.compute(20 * i + 5)
+                    arrivals.setdefault(ep, []).append(th.sim.now)
+                    yield from th.barrier(barrier, n_threads)
+                    exits.setdefault(ep, []).append(th.sim.now)
+            return body
+
+        env.shared["arrivals"] = arrivals
+        env.shared["exits"] = exits
+        return [mkbody(i) for i in range(n_threads)]
+
+    def validate(env):
+        arrivals, exits = env.shared["arrivals"], env.shared["exits"]
+        samples = []
+        for ep in range(1, episodes + 1):  # skip warmup episode 0
+            env.expect(len(exits[ep]) == n_threads, f"episode {ep} short")
+            samples.append(max(exits[ep]) - max(arrivals[ep]))
+        env.record("barrier_handoff_cycles", sum(samples) / len(samples))
+
+    return Workload(
+        name="micro.barrier_handoff",
+        n_threads=n_threads,
+        make_threads=make,
+        validate_fn=validate,
+        tags=("micro",),
+    )
+
+
+def cond_signal_latency(n_threads: int = 2, iters: int = 10) -> Workload:
+    """Signal-to-wakeup latency with a single waiter."""
+
+    def make(env: WorkloadEnv):
+        lock = env.allocator.sync_var()
+        cond = env.allocator.sync_var()
+        seq = env.allocator.line()
+        samples = env.shared.setdefault("samples", [])
+        signal_times = env.shared.setdefault("signal_times", [])
+
+        def waiter(th):
+            for k in range(iters):
+                yield from th.lock(lock)
+                while True:
+                    v = yield from th.load(seq)
+                    if v > k:
+                        break
+                    yield from th.cond_wait(cond, lock)
+                if signal_times:
+                    samples.append(th.sim.now - signal_times[-1])
+                yield from th.unlock(lock)
+
+        def signaler(th):
+            for k in range(iters):
+                yield from th.compute(800)
+                yield from th.lock(lock)
+                yield from th.store(seq, k + 1)
+                signal_times.append(th.sim.now)
+                yield from th.cond_signal(cond)
+                yield from th.unlock(lock)
+
+        return [waiter, signaler]
+
+    def validate(env):
+        samples = env.shared["samples"]
+        env.expect(len(samples) >= iters - 1, "missing wakeups")
+        env.record("cond_signal_cycles", sum(samples) / len(samples))
+
+    return Workload(
+        name="micro.cond_signal",
+        n_threads=2,
+        make_threads=make,
+        validate_fn=validate,
+        tags=("micro",),
+    )
+
+
+def cond_broadcast_latency(n_threads: int, iters: int = 8) -> Workload:
+    """Broadcast-to-last-wakeup latency with n-1 waiters.
+
+    Rounds are quiesced: the broadcaster waits for an armed-waiter count
+    (maintained outside the measured path) before broadcasting, so every
+    round measures exactly (n-1) sleeping waiters rather than a chaotic
+    mix of re-arriving threads.
+    """
+
+    def make(env: WorkloadEnv):
+        lock = env.allocator.sync_var()
+        cond = env.allocator.sync_var()
+        seq = env.allocator.line()
+        armed = env.allocator.line()
+        bcast_times = env.shared.setdefault("bcast_times", [])
+        exit_times = env.shared.setdefault("exit_times", {})
+
+        def waiter(th):
+            for k in range(iters):
+                yield from th.lock(lock)
+                yield from th.fetch_add(armed, 1)
+                while True:
+                    v = yield from th.load(seq)
+                    if v > k:
+                        break
+                    yield from th.cond_wait(cond, lock)
+                yield from th.unlock(lock)
+                exit_times.setdefault(k, []).append(th.sim.now)
+
+        def broadcaster(th):
+            for k in range(iters):
+                # Quiesce: every waiter has re-armed for round k.  (The
+                # waiter may re-check the predicate between arming and
+                # sleeping; the spin margin below absorbs that window.)
+                yield from th.spin_until(
+                    armed, lambda v, want=(k + 1) * (n_threads - 1): v >= want
+                )
+                yield from th.compute(1200)
+                yield from th.lock(lock)
+                yield from th.store(seq, k + 1)
+                bcast_times.append(th.sim.now)
+                yield from th.cond_broadcast(cond)
+                yield from th.unlock(lock)
+
+        return [waiter] * (n_threads - 1) + [broadcaster]
+
+    def validate(env):
+        bcast_times = env.shared["bcast_times"]
+        exit_times = env.shared["exit_times"]
+        samples = []
+        for k in range(WARMUP_ITERS, iters):  # skip cold rounds
+            env.expect(
+                len(exit_times[k]) == n_threads - 1, f"round {k} lost waiters"
+            )
+            samples.append(max(exit_times[k]) - bcast_times[k])
+        env.record("cond_broadcast_cycles", sum(samples) / len(samples))
+
+    return Workload(
+        name="micro.cond_broadcast",
+        n_threads=n_threads,
+        make_threads=make,
+        validate_fn=validate,
+        tags=("micro",),
+    )
+
+
+MICROBENCHES = {
+    "LockAcquire": lock_acquire,
+    "LockHandoff": lock_handoff,
+    "BarrierHandoff": barrier_handoff,
+    "CondSignal": lambda n: cond_signal_latency(),
+    "CondBroadcast": cond_broadcast_latency,
+}
+
+METRIC_KEYS = {
+    "LockAcquire": "lock_acquire_cycles",
+    "LockHandoff": "lock_handoff_cycles",
+    "BarrierHandoff": "barrier_handoff_cycles",
+    "CondSignal": "cond_signal_cycles",
+    "CondBroadcast": "cond_broadcast_cycles",
+}

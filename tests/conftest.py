@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import MachineParams
+from repro.harness.configs import build_machine
+from repro.machine import Machine
+
+
+@pytest.fixture
+def sim():
+    from repro.sim.kernel import Simulator
+
+    return Simulator()
+
+
+@pytest.fixture
+def machine16():
+    """A default 16-core MSA/OMU-2 machine."""
+    return build_machine("msa-omu-2", n_cores=16)
+
+
+@pytest.fixture
+def pthread16():
+    return build_machine("pthread", n_cores=16)
+
+
+def drain(machine: Machine, max_events: int = 5_000_000) -> int:
+    """Run a machine's simulation to completion."""
+    return machine.run(max_events=max_events)
+
+
+def run_threads(machine: Machine, bodies, max_events: int = 5_000_000) -> int:
+    """Spawn bodies (callables taking a ThreadCtx) and run to completion."""
+    for body in bodies:
+        machine.scheduler.spawn(body)
+    cycles = machine.run(max_events=max_events)
+    machine.check_invariants()
+    return cycles

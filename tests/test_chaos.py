@@ -1,0 +1,200 @@
+"""Chaos testing: random scheduler interference (suspensions, delayed
+resumptions, migrations) injected into synchronization-heavy workloads.
+Whatever the interleaving, the runtime must preserve mutual exclusion,
+barrier episode integrity, OMU balance, and MESI safety, and every
+thread must terminate.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.configs import build_machine
+
+
+def run_chaos_locks(config, n_threads, iters, interruptions, seed):
+    """Lock workload with scripted suspend/resume interference.
+
+    ``interruptions``: list of (victim, suspend_at, resume_delay,
+    migrate_to_offset) tuples.
+    """
+    m = build_machine(config, n_cores=16, seed=seed)
+    lock = m.allocator.sync_var()
+    counter = m.allocator.line()
+    threads = []
+
+    def body(th):
+        for _ in range(iters):
+            yield from th.lock(lock)
+            value = yield from th.load(counter)
+            yield from th.compute(9)
+            yield from th.store(counter, value + 1)
+            yield from th.unlock(lock)
+            yield from th.compute(20)
+
+    for _ in range(n_threads):
+        threads.append(m.scheduler.spawn(body))
+
+    # Spare cores for migrations (threads occupy 0..n_threads-1).
+    spare = list(range(n_threads, 16))
+    busy_spares = set()
+
+    def schedule_interruption(victim_idx, at, resume_delay, migrate):
+        victim = threads[victim_idx % n_threads]
+
+        def suspend():
+            if victim.finished or victim.suspended:
+                return
+            m.scheduler.suspend(victim)
+            target = None
+            if migrate and spare:
+                candidate = spare[victim_idx % len(spare)]
+                if candidate not in busy_spares:
+                    target = candidate
+                    busy_spares.add(candidate)
+
+            def resume():
+                if victim.suspended:
+                    m.scheduler.resume(victim, core=target)
+
+            m.sim.schedule(resume_delay, resume)
+
+        m.sim.schedule(at, suspend)
+
+    for victim_idx, at, resume_delay, migrate in interruptions:
+        schedule_interruption(victim_idx, at, resume_delay, migrate)
+
+    m.run(max_events=10_000_000)
+    m.check_invariants()
+    assert m.memory.peek(counter) == n_threads * iters
+    assert m.omu_totals() == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    config=st.sampled_from(["msa-omu-2", "msa-omu-1", "msa-inf"]),
+    n_threads=st.integers(2, 6),
+    iters=st.integers(2, 5),
+    interruptions=st.lists(
+        st.tuples(
+            st.integers(0, 5),        # victim
+            st.integers(50, 4000),    # suspend time
+            st.integers(300, 3000),   # resume delay
+            st.booleans(),            # migrate
+        ),
+        max_size=4,
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_property_lock_chaos(config, n_threads, iters, interruptions, seed):
+    run_chaos_locks(config, n_threads, iters, interruptions, seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_threads=st.integers(2, 6),
+    episodes=st.integers(1, 4),
+    interruptions=st.lists(
+        st.tuples(
+            st.integers(0, 5),
+            st.integers(50, 3000),
+            st.integers(300, 2500),
+        ),
+        max_size=3,
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_property_barrier_chaos(n_threads, episodes, interruptions, seed):
+    """Random suspensions of barrier participants: every episode still
+    releases every thread exactly once (ABORT -> software fallback)."""
+    m = build_machine("msa-omu-2", n_cores=16, seed=seed)
+    barrier = m.allocator.sync_var()
+    releases = {i: 0 for i in range(n_threads)}
+    threads = []
+
+    def make_body(i):
+        def body(th):
+            for _ in range(episodes):
+                yield from th.compute(20 * (i + 1))
+                yield from th.barrier(barrier, n_threads)
+                releases[i] += 1
+        return body
+
+    for i in range(n_threads):
+        threads.append(m.scheduler.spawn(make_body(i)))
+
+    for victim_idx, at, resume_delay in interruptions:
+        victim = threads[victim_idx % n_threads]
+
+        def suspend(v=victim, delay=resume_delay):
+            if v.finished or v.suspended:
+                return
+            m.scheduler.suspend(v)
+            m.sim.schedule(
+                delay, lambda: m.scheduler.resume(v) if v.suspended else None
+            )
+
+        m.sim.schedule(at, suspend)
+
+    m.run(max_events=10_000_000)
+    m.check_invariants()
+    assert all(count == episodes for count in releases.values())
+    assert m.omu_totals() == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n_waiters=st.integers(1, 4),
+    suspend_at=st.integers(100, 2500),
+    resume_delay=st.integers(300, 2000),
+    seed=st.integers(0, 1000),
+)
+def test_property_condvar_chaos(n_waiters, suspend_at, resume_delay, seed):
+    """A condvar waiter suspended at a random moment: the broadcast
+    still wakes everyone, no spurious-wakeup loop hangs, the lock's pin
+    count drains to zero."""
+    m = build_machine("msa-omu-2", n_cores=16, seed=seed)
+    lock = m.allocator.sync_var()
+    cond = m.allocator.sync_var()
+    flag = m.allocator.line()
+    woke = []
+    threads = []
+
+    def waiter(th):
+        yield from th.lock(lock)
+        while True:
+            value = yield from th.load(flag)
+            if value:
+                break
+            yield from th.cond_wait(cond, lock)
+        woke.append(th.tid)
+        yield from th.unlock(lock)
+
+    def caster(th):
+        yield from th.compute(4000)
+        yield from th.lock(lock)
+        yield from th.store(flag, 1)
+        yield from th.cond_broadcast(cond)
+        yield from th.unlock(lock)
+
+    for _ in range(n_waiters):
+        threads.append(m.scheduler.spawn(waiter))
+    m.scheduler.spawn(caster)
+
+    victim = threads[0]
+
+    def suspend():
+        if not victim.finished and not victim.suspended:
+            m.scheduler.suspend(victim)
+            m.sim.schedule(
+                resume_delay,
+                lambda: m.scheduler.resume(victim) if victim.suspended else None,
+            )
+
+    m.sim.schedule(suspend_at, suspend)
+    m.run(max_events=10_000_000)
+    m.check_invariants()
+    assert sorted(woke) == list(range(n_waiters))
+    home = m.memory.amap.home_of(lock)
+    entry = m.msa_slice(home).entry_for(lock)
+    assert entry is None or entry.pin_count == 0
+    assert m.omu_totals() == 0

@@ -1,0 +1,75 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.charts import grouped_chart, hbar_chart
+
+
+class TestHbarChart:
+    def test_renders_all_rows(self):
+        out = hbar_chart([("a", 10.0), ("bb", 20.0)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert lines[1].strip().startswith("a")
+        assert "#" in lines[1]
+
+    def test_max_value_gets_full_width(self):
+        out = hbar_chart([("big", 100.0), ("small", 1.0)], width=40)
+        big, small = out.splitlines()
+        assert big.count("#") == 40
+        assert small.count("#") >= 1
+        assert small.count("#") < big.count("#")
+
+    def test_log_scale_compresses_ratios(self):
+        linear = hbar_chart([("a", 1000.0), ("b", 1.0)], width=40)
+        log = hbar_chart([("a", 1000.0), ("b", 1.0)], width=40, log_scale=True)
+        linear_b = linear.splitlines()[1].count("#")
+        log_b = log.splitlines()[1].count("#")
+        assert log_b > linear_b
+        assert "(log scale)" in log
+
+    def test_baseline_marker_drawn(self):
+        out = hbar_chart(
+            [("fast", 2.0), ("slow", 0.5)], baseline=1.0, width=40
+        )
+        assert "|" in out
+
+    def test_zero_and_negative_values_safe(self):
+        out = hbar_chart([("zero", 0.0), ("pos", 5.0)])
+        assert "zero" in out
+
+    def test_empty_rows(self):
+        assert hbar_chart([], title="nothing") == "nothing"
+
+    def test_value_formatting(self):
+        out = hbar_chart([("big", 12345.0), ("small", 1.5)])
+        assert "12,345" in out
+        assert "1.50" in out
+
+
+class TestGroupedChart:
+    def test_groups_labeled(self):
+        out = grouped_chart(
+            {
+                "probe1": [("a", 1.0), ("b", 2.0)],
+                "probe2": [("a", 3.0)],
+            },
+            title="G",
+        )
+        assert "-- probe1" in out
+        assert "-- probe2" in out
+        assert out.splitlines()[0] == "G"
+
+    def test_empty_groups(self):
+        assert grouped_chart({}, title="t") == "t"
+
+
+class TestExperimentIntegration:
+    def test_fig5_prints_charts(self, capsys):
+        from repro.harness.experiments import fig5
+
+        fig5(cores=(4,), configs=("pthread", "msa-omu-2"), print_out=True)
+        out = capsys.readouterr().out
+        assert "(log scale)" in out
+        assert "#" in out

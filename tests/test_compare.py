@@ -1,0 +1,65 @@
+"""Tests for the sweep-comparison utility."""
+
+import pytest
+
+from repro.harness.compare import compare_csv, render_comparison
+
+OLD = """config,workload,n_cores,scale,cycles,msa_coverage,speedup
+pthread,app1,16,1.0,1000,,1.0
+msa-omu-2,app1,16,1.0,500,0.95,2.0
+msa-omu-2,app2,16,1.0,800,0.90,
+"""
+
+NEW = """config,workload,n_cores,scale,cycles,msa_coverage,speedup
+pthread,app1,16,1.0,1000,,1.0
+msa-omu-2,app1,16,1.0,600,0.95,1.67
+msa-omu-2,app3,16,1.0,700,0.90,
+"""
+
+
+class TestCompare:
+    def test_deltas_matched_points_only(self):
+        cmp = compare_csv(OLD, NEW)
+        keys = [d.key for d in cmp.deltas]
+        assert ("pthread", "app1", 16) in keys
+        assert ("msa-omu-2", "app1", 16) in keys
+        assert len(cmp.deltas) == 2
+
+    def test_added_removed_points(self):
+        cmp = compare_csv(OLD, NEW)
+        assert cmp.only_old == [("msa-omu-2", "app2", 16)]
+        assert cmp.only_new == [("msa-omu-2", "app3", 16)]
+
+    def test_regression_detection(self):
+        cmp = compare_csv(OLD, NEW)
+        regs = cmp.regressions(threshold_pct=5.0)
+        assert len(regs) == 1
+        assert regs[0].key == ("msa-omu-2", "app1", 16)
+        assert regs[0].percent == pytest.approx(20.0)
+
+    def test_no_false_regressions(self):
+        cmp = compare_csv(OLD, OLD)
+        assert cmp.regressions() == []
+        assert cmp.improvements() == []
+
+    def test_render(self):
+        out = render_comparison(compare_csv(OLD, NEW))
+        assert "REGRESSION" in out
+        assert "+20.0%" in out
+        assert "removed points: 1" in out
+        assert "added points: 1" in out
+
+    def test_roundtrip_with_real_sweep(self):
+        from repro.harness.sweep import sweep, to_csv
+        from repro.workloads.kernels import KERNELS
+
+        points = sweep(
+            configs=("msa-omu-2",),
+            workload_factories={"barnes": KERNELS["barnes"]},
+            cores=(16,),
+            scale=0.25,
+        )
+        text = to_csv(points)
+        cmp = compare_csv(text, text)
+        assert len(cmp.deltas) == 1
+        assert cmp.deltas[0].percent == 0.0

@@ -1,0 +1,35 @@
+"""Tests for the RunResult.describe() run-summary report."""
+
+import pytest
+
+from repro.harness.configs import build_machine
+from repro.harness.runner import run_workload
+from repro.workloads.kernels import KERNELS
+
+
+class TestDescribe:
+    def test_describe_msa_run(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        result = run_workload(
+            m, KERNELS["fluidanimate"](16, 0.25), config="msa-omu-2"
+        )
+        text = result.describe()
+        assert "fluidanimate on msa-omu-2" in text
+        assert "MSA coverage" in text
+        assert "sync instructions" in text
+        assert "NoC messages" in text
+        assert f"{result.cycles:,}" in text
+
+    def test_describe_software_run_omits_msa_lines(self):
+        m = build_machine("pthread", n_cores=16)
+        result = run_workload(m, KERNELS["barnes"](16, 0.25), config="pthread")
+        text = result.describe()
+        assert "MSA coverage" not in text
+        assert "barnes on pthread" in text
+
+    def test_describe_includes_workload_metrics(self):
+        from repro.workloads import microbench
+
+        m = build_machine("msa-omu-2", n_cores=16)
+        result = run_workload(m, microbench.lock_acquire(16), config="x")
+        assert "lock_acquire_cycles" in result.describe()

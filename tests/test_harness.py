@@ -1,0 +1,140 @@
+"""Tests for the experiment harness: runner, report rendering, related
+work registry, and the experiment drivers on tiny grids."""
+
+import pytest
+
+from repro.harness.configs import build_machine
+from repro.harness.related_work import RELATED_WORK, supports_all_three, table1_rows
+from repro.harness.report import render_table
+from repro.harness.runner import RunResult, run_workload
+from repro.workloads.kernels import KERNELS
+
+
+class TestReport:
+    def test_render_basic_table(self):
+        out = render_table(
+            ["a", "bb"], [[1, 2.5], ["xxx", "y"]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in out and "xxx" in out
+
+    def test_column_widths_fit_content(self):
+        out = render_table(["h"], [["wide-cell-content"]])
+        header, divider, row = out.splitlines()
+        assert len(divider) >= len("wide-cell-content")
+
+
+class TestRelatedWork:
+    def test_thirteen_schemes(self):
+        assert len(RELATED_WORK) == 13
+        assert len(table1_rows()) == 13
+
+    def test_only_misar_supports_all_three(self):
+        all_three = [s for s in RELATED_WORK if supports_all_three(s)]
+        assert len(all_three) == 1
+        assert "MSA/OMU" in all_three[0].name
+
+    def test_direct_barrier_schemes_use_dedicated_networks(self):
+        """The paper's observation: direct-notification barrier
+        proposals mostly rely on dedicated networks -- except MiSAR."""
+        for s in RELATED_WORK:
+            if (
+                s.primitives == ("barrier",)
+                and s.notification == "direct"
+            ):
+                assert s.dedicated_network
+
+    def test_row_format(self):
+        for row in table1_rows():
+            assert len(row) == 6
+            assert row[2] in ("Direct", "Indirect")
+            assert row[4] in ("Yes", "No")
+
+
+class TestRunner:
+    def test_run_result_fields(self):
+        machine = build_machine("msa-omu-2", n_cores=16)
+        result = run_workload(machine, KERNELS["barnes"](16, 0.25), config="x")
+        assert isinstance(result, RunResult)
+        assert result.config == "x"
+        assert result.workload == "barnes"
+        assert result.n_cores == 16
+        assert result.cycles > 0
+        assert result.noc_counters["messages_sent"] > 0
+
+    def test_speedup_over(self):
+        a = RunResult("a", "w", 16, cycles=100, msa_coverage=None)
+        b = RunResult("b", "w", 16, cycles=50, msa_coverage=None)
+        assert b.speedup_over(a) == 2.0
+
+    def test_check_flag_validates(self):
+        machine = build_machine("msa-omu-2", n_cores=16)
+        run_workload(machine, KERNELS["volrend"](16, 0.25), check=True)
+
+    def test_workload_thread_count_enforced(self):
+        from repro.common.errors import WorkloadError
+
+        machine = build_machine("pthread", n_cores=4)
+        with pytest.raises(WorkloadError):
+            run_workload(machine, KERNELS["barnes"](16, 0.25))
+
+
+class TestExperimentDrivers:
+    def test_fig5_tiny_grid(self):
+        from repro.harness.experiments import fig5
+
+        results = fig5(
+            cores=(4,), configs=("pthread", "msa-omu-2"), print_out=False
+        )
+        assert results["LockHandoff"][("msa-omu-2", 4)] < results[
+            "LockHandoff"
+        ][("pthread", 4)]
+
+    def test_fig6_tiny_grid(self):
+        from repro.harness.experiments import fig6
+
+        grid = fig6(
+            cores=(16,),
+            configs=("msa-omu-2",),
+            apps=("streamcluster",),
+            scale=0.25,
+            print_out=False,
+        )
+        assert grid.speedups[("streamcluster", "msa-omu-2", 16)] > 1.0
+
+    def test_fig7_tiny_grid(self):
+        from repro.harness.experiments import fig7
+
+        cov = fig7(
+            cores=(16,),
+            entries=(2,),
+            apps=("fluidanimate",),
+            scale=0.25,
+            print_out=False,
+        )
+        assert cov[(2, 16, True)] > cov[(2, 16, False)]
+
+    def test_fig8_tiny_grid(self):
+        from repro.harness.experiments import fig8
+
+        res = fig8(cores=(16,), scale=0.25, print_out=False)
+        assert res[("with_opt", 16)] > 0
+
+    def test_fig9_tiny_grid(self):
+        from repro.harness.experiments import fig9
+
+        res = fig9(
+            n_cores=16, apps=("streamcluster",), scale=0.25, print_out=False
+        )
+        assert res[("streamcluster", "msa-lockonly-2")] < res[
+            ("streamcluster", "msa-omu-2")
+        ]
+
+    def test_cli_table1(self, capsys):
+        from repro.harness.experiments import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MSA/OMU" in out

@@ -1,0 +1,242 @@
+"""Integration tests: the HWSync-bit / LOCK_SILENT optimization
+(paper section 5) and its revocation protocol."""
+
+import pytest
+
+from repro.common.types import SyncOp, SyncResult
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+def lock_entry(machine, addr):
+    return machine.msa_slice(machine.memory.amap.home_of(addr)).entry_for(addr)
+
+
+class TestSilentReacquire:
+    def test_same_core_reacquire_is_silent(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+
+        def body(th):
+            for _ in range(10):
+                yield from th.lock(addr)
+                yield from th.unlock(addr)
+                yield from th.compute(100)  # let the re-arm land
+
+        run_threads(m, [body])
+        counters = m.sync_unit_counters()
+        assert counters["silent_lock_hits"] >= 8
+        assert counters["silent_unlock_hits"] >= 9
+
+    def test_silent_acquire_faster_than_roundtrip(self):
+        def time_config(config):
+            m = build_machine(config, n_cores=16)
+            addr = m.allocator.sync_var(home=15)  # far from core 0
+            span = {}
+
+            def body(th):
+                # Two warm-up acquires: the first allocates, the second
+                # trips the reuse predictor and arms the re-arm path.
+                for _ in range(2):
+                    yield from th.lock(addr)
+                    yield from th.unlock(addr)
+                    yield from th.compute(200)
+                t0 = th.sim.now
+                yield from th.lock(addr)
+                span["lock"] = th.sim.now - t0
+                yield from th.unlock(addr)
+
+            run_threads(m, [body])
+            return span["lock"]
+
+        assert time_config("msa-omu-2") < time_config("msa-omu-2-noopt")
+
+    def test_noopt_config_never_silent(self):
+        m = build_machine("msa-omu-2-noopt", n_cores=16)
+        addr = m.allocator.sync_var()
+
+        def body(th):
+            for _ in range(5):
+                yield from th.lock(addr)
+                yield from th.unlock(addr)
+                yield from th.compute(50)
+
+        run_threads(m, [body])
+        assert m.sync_unit_counters().get("silent_lock_hits", 0) == 0
+
+    def test_msa_sees_silent_acquires(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+
+        def body(th):
+            for _ in range(6):
+                yield from th.lock(addr)
+                yield from th.unlock(addr)
+                yield from th.compute(120)
+
+        run_threads(m, [body])
+        assert m.msa_counters().get("silent_acquires", 0) >= 4
+
+
+class TestRevocation:
+    def test_cross_core_acquire_revokes_bit(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        order = []
+
+        def first(th):
+            # Acquire twice so the reuse predictor arms the bit across
+            # the idle period (which is what forces the revoke).
+            yield from th.lock(addr)
+            yield from th.unlock(addr)
+            yield from th.compute(80)
+            yield from th.lock(addr)
+            yield from th.unlock(addr)
+            order.append(("first_done", th.sim.now))
+
+        def second(th):
+            yield from th.compute(400)
+            yield from th.lock(addr)
+            order.append(("second_got", th.sim.now))
+            yield from th.unlock(addr)
+
+        run_threads(m, [first, second])
+        assert m.msa_counters()["revokes_sent"] >= 1
+        assert not m.sync_units[0].holds_hwsync(addr)
+        # Core 1's single use does not enter reuse mode, so its bit is
+        # disarmed after its unlock -- but it is the owner of record.
+        entry = lock_entry(m, addr)
+        assert entry is not None and entry.last_owner == 1
+
+    def test_mutual_exclusion_with_silent_contention(self, machine16):
+        """Two cores alternating on one lock with silent re-acquire in
+        the mix: mutual exclusion and counter integrity must hold."""
+        m = machine16
+        addr = m.allocator.sync_var()
+        counter = m.allocator.line()
+        in_cs = [0]
+        max_cs = [0]
+
+        def make_body(i):
+            def body(th):
+                for k in range(12):
+                    yield from th.lock(addr)
+                    in_cs[0] += 1
+                    max_cs[0] = max(max_cs[0], in_cs[0])
+                    v = yield from th.load(counter)
+                    yield from th.compute(5)
+                    yield from th.store(counter, v + 1)
+                    in_cs[0] -= 1
+                    yield from th.unlock(addr)
+                    # Small random-ish gaps create every interleaving of
+                    # silent acquires vs remote requests.
+                    yield from th.compute((i * 37 + k * 13) % 90)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(4)])
+        assert max_cs[0] == 1
+        assert m.memory.peek(counter) == 48
+
+    def test_entry_reclaimed_under_capacity_pressure(self):
+        """Idle-cached entries (HWSync pinned) are reclaimed when new
+        addresses need the slice: the colliding request is deferred one
+        revoke round-trip and then served in hardware."""
+        m = build_machine("msa-omu-1", n_cores=16)
+        lock_a = m.allocator.sync_var(home=4)
+        lock_b = m.allocator.sync_var(home=4)
+        results = []
+        times = []
+
+        def body(th):
+            # Two acquires arm lock_a's across-idle bit (reuse mode), so
+            # its idle entry is HWSync-pinned, not instantly evictable.
+            yield from th.lock(lock_a)
+            yield from th.unlock(lock_a)
+            yield from th.compute(80)
+            yield from th.lock(lock_a)
+            yield from th.unlock(lock_a)
+            # lock_a's entry is now idle-cached.  First touch of lock_b
+            # waits out the reclamation revoke and still succeeds.
+            t0 = th.sim.now
+            r1 = yield from th.sync(SyncOp.LOCK, lock_b)
+            times.append(th.sim.now - t0)
+            results.append(r1)
+            yield from th.sync(SyncOp.UNLOCK, lock_b)
+            # A later acquire is a plain hit/allocate (no reclaim wait).
+            t0 = th.sim.now
+            yield from th.lock(lock_b)
+            times.append(th.sim.now - t0)
+            yield from th.unlock(lock_b)
+
+        run_threads(m, [body])
+        assert results == [SyncResult.SUCCESS]
+        assert lock_entry(m, lock_a) is None  # reclaimed
+        counters = m.msa_counters()
+        assert counters["reclaims_started"] >= 1
+        assert counters["alloc_deferred"] >= 1
+
+    def test_hwsync_invariant_bit_implies_entry(self, machine16):
+        """Whenever a core holds an armed HWSync bit, the MSA entry for
+        that address exists with hwsync_core == that core -- the
+        property that makes silent acquisition safe."""
+        m = machine16
+        addrs = [m.allocator.sync_var() for _ in range(4)]
+        checks = []
+
+        def make_body(i):
+            def body(th):
+                for k in range(8):
+                    addr = addrs[(i + k) % 4]
+                    yield from th.lock(addr)
+                    yield from th.compute(10)
+                    # Inside the critical section we hold the grant
+                    # token (silent UNLOCK eligible): the entry must
+                    # exist with us as owner of record.
+                    if m.sync_units[th.core].holds_lock_grant(addr):
+                        entry = lock_entry(m, addr)
+                        checks.append(
+                            entry is not None and entry.owner == th.core
+                        )
+                    yield from th.unlock(addr)
+                    yield from th.compute(40)
+                    # Any idle-armed bit implies a pinned entry.
+                    for a in addrs:
+                        if m.sync_units[th.core].holds_hwsync(a):
+                            entry = lock_entry(m, a)
+                            checks.append(
+                                entry is not None
+                                and entry.hwsync_core == th.core
+                            )
+            return body
+
+        run_threads(m, [make_body(i) for i in range(4)])
+        assert checks and all(checks)
+
+
+class TestHwsyncWithCondvars:
+    def test_cond_wait_disarms_lock_bit(self, machine16):
+        """COND_WAIT releases the lock at the MSA; the local HWSync bit
+        must be disarmed so no silent re-acquire races the release."""
+        m = machine16
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        observed = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            observed.append(
+                ("armed_before", m.sync_units[th.core].holds_lock_grant(lock))
+            )
+            yield from th.cond_wait(cond, lock)
+            yield from th.unlock(lock)
+
+        def signaler(th):
+            yield from th.compute(1500)
+            observed.append(("waiter_bit", m.sync_units[0].holds_lock_grant(lock)))
+            yield from th.lock(lock)
+            yield from th.cond_signal(cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter, signaler])
+        assert ("armed_before", True) in observed
+        assert ("waiter_bit", False) in observed

@@ -1,0 +1,124 @@
+"""Tests for the synthetic application kernels: every kernel must run
+to completion on every machine configuration, validate its own
+functional output, and leave the machine in a consistent state."""
+
+import pytest
+
+from repro.harness.configs import build_machine
+from repro.harness.runner import run_workload
+from repro.workloads.kernels import FIGURE_APPS, KERNELS
+
+SMALL = 0.25
+
+
+class TestRegistry:
+    def test_seventeen_kernels(self):
+        assert len(KERNELS) == 17
+
+    def test_figure_apps_subset(self):
+        assert set(FIGURE_APPS) <= set(KERNELS)
+        assert len(FIGURE_APPS) == 8
+
+    def test_names_match_keys(self):
+        for name, factory in KERNELS.items():
+            assert factory(16, SMALL).name == name
+
+
+@pytest.mark.parametrize("app", sorted(KERNELS))
+class TestEveryKernel:
+    def test_runs_and_validates_on_msa(self, app):
+        machine = build_machine("msa-omu-2", n_cores=16)
+        result = run_workload(machine, KERNELS[app](16, SMALL), config="msa")
+        assert result.cycles > 0
+        assert machine.omu_totals() == 0
+
+    def test_runs_on_pthread(self, app):
+        machine = build_machine("pthread", n_cores=16)
+        result = run_workload(machine, KERNELS[app](16, SMALL))
+        assert result.cycles > 0
+
+    def test_runs_on_ideal(self, app):
+        machine = build_machine("ideal", n_cores=16)
+        result = run_workload(machine, KERNELS[app](16, SMALL))
+        assert result.cycles > 0
+
+    def test_deterministic(self, app):
+        def once():
+            machine = build_machine("msa-omu-2", n_cores=16, seed=42)
+            return run_workload(machine, KERNELS[app](16, SMALL)).cycles
+
+        assert once() == once()
+
+
+class TestKernelCharacter:
+    """Each kernel's synchronization signature matches its role."""
+
+    def _counters(self, app, config="msa-omu-2", n=16):
+        machine = build_machine(config, n_cores=n)
+        result = run_workload(machine, KERNELS[app](n, SMALL))
+        return result.msa_counters
+
+    def test_streamcluster_barrier_dominated(self):
+        c = self._counters("streamcluster")
+        assert c.get("req.barrier", 0) > c.get("req.lock", 0)
+
+    def test_radiosity_lock_dominated(self):
+        c = self._counters("radiosity")
+        assert c.get("req.lock", 0) > 10 * c.get("req.barrier", 0)
+
+    def test_fluidanimate_uses_many_lock_addresses(self):
+        machine = build_machine("msa-inf", n_cores=16)
+        run_workload(machine, KERNELS["fluidanimate"](16, SMALL))
+        lock_entries = sum(
+            1
+            for s in machine.msa_slices
+            for e in s.entries.values()
+            if e.sync_type.value == "lock"
+        )
+        assert lock_entries >= 16  # one active set per thread at least
+
+    def test_volrend_exercises_condvars(self):
+        c = self._counters("volrend")
+        assert c.get("req.cond_wait", 0) + c.get("req.cond_bcast", 0) > 0
+
+    def test_low_sync_apps_have_low_sync_density(self):
+        """Sync instructions per cycle at full scale: the compute-bound
+        apps sit well below the barrier-storm app."""
+
+        def density(app):
+            machine = build_machine("msa-omu-2", n_cores=16)
+            result = run_workload(machine, KERNELS[app](16, 1.0))
+            ops = sum(
+                v
+                for k, v in result.sync_unit_counters.items()
+                if k.startswith("issued.")
+            )
+            return ops / result.cycles
+
+        barrier_storms = density("streamcluster")
+        assert density("lu") < barrier_storms
+        assert density("barnes") < barrier_storms * 2
+
+    def test_raytrace_single_hot_lock(self):
+        """Most lock traffic targets the global work lock."""
+        machine = build_machine("msa-inf", n_cores=16)
+        run_workload(machine, KERNELS["raytrace"](16, SMALL))
+        grants_per_slice = [
+            s.stats.counters.get("lock_grants", 0) for s in machine.msa_slices
+        ]
+        assert max(grants_per_slice) > 0.5 * sum(grants_per_slice)
+
+
+class TestScaling:
+    def test_scale_parameter_grows_work(self):
+        small = build_machine("pthread", n_cores=16)
+        large = build_machine("pthread", n_cores=16)
+        small_c = run_workload(small, KERNELS["streamcluster"](16, 0.25)).cycles
+        large_c = run_workload(large, KERNELS["streamcluster"](16, 1.0)).cycles
+        assert large_c > small_c * 2
+
+    def test_kernels_run_at_4_cores(self):
+        for app in ("streamcluster", "radiosity", "volrend"):
+            machine = build_machine("msa-omu-2", n_cores=4)
+            result = run_workload(machine, KERNELS[app](4, SMALL))
+            assert result.cycles > 0

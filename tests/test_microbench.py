@@ -1,0 +1,91 @@
+"""Tests for the Figure-5 microbenchmark workloads."""
+
+import pytest
+
+from repro.harness.configs import build_machine
+from repro.harness.runner import run_workload
+from repro.workloads import microbench
+
+
+def run_micro(factory, config="msa-omu-2", n=16, **kwargs):
+    machine = build_machine(config, n_cores=n)
+    workload = factory(n, **kwargs) if kwargs else factory(n)
+    return run_workload(machine, workload, config=config)
+
+
+class TestLockAcquireProbe:
+    def test_reports_metric(self):
+        result = run_micro(microbench.lock_acquire)
+        assert result.workload_metrics["lock_acquire_cycles"] > 0
+
+    def test_msa_silent_path_much_faster(self):
+        msa = run_micro(microbench.lock_acquire, "msa-omu-2")
+        sw = run_micro(microbench.lock_acquire, "pthread")
+        assert (
+            msa.workload_metrics["lock_acquire_cycles"]
+            < sw.workload_metrics["lock_acquire_cycles"]
+        )
+
+    def test_sample_count_matches_iters(self):
+        machine = build_machine("pthread", n_cores=16)
+        wl = microbench.lock_acquire(16, iters=7)
+        run_workload(machine, wl)  # validate_fn checks sample count
+
+
+class TestLockHandoffProbe:
+    def test_handoff_increases_with_contention_cost(self):
+        spin = run_micro(microbench.lock_handoff, "spinlock")
+        msa = run_micro(microbench.lock_handoff, "msa-omu-2")
+        assert (
+            msa.workload_metrics["lock_handoff_cycles"]
+            < spin.workload_metrics["lock_handoff_cycles"]
+        )
+
+    def test_all_acquires_counted(self):
+        machine = build_machine("mcs-tour", n_cores=16)
+        wl = microbench.lock_handoff(16, iters=4)
+        result = run_workload(machine, wl)
+        assert result.workload_metrics["lock_handoff_cycles"] > 0
+
+
+class TestBarrierHandoffProbe:
+    @pytest.mark.parametrize("config", ["pthread", "mcs-tour", "msa-omu-2"])
+    def test_probe_runs_everywhere(self, config):
+        result = run_micro(microbench.barrier_handoff, config)
+        assert result.workload_metrics["barrier_handoff_cycles"] > 0
+
+    def test_msa_beats_tournament(self):
+        msa = run_micro(microbench.barrier_handoff, "msa-omu-2")
+        tour = run_micro(microbench.barrier_handoff, "mcs-tour")
+        assert (
+            msa.workload_metrics["barrier_handoff_cycles"] * 4
+            < tour.workload_metrics["barrier_handoff_cycles"]
+        )
+
+
+class TestCondProbes:
+    @pytest.mark.parametrize("config", ["pthread", "msa-omu-2"])
+    def test_signal_probe(self, config):
+        machine = build_machine(config, n_cores=16)
+        result = run_workload(machine, microbench.cond_signal_latency())
+        assert result.workload_metrics["cond_signal_cycles"] > 0
+
+    @pytest.mark.parametrize("config", ["pthread", "msa-omu-2"])
+    def test_broadcast_probe(self, config):
+        machine = build_machine(config, n_cores=16)
+        result = run_workload(machine, microbench.cond_broadcast_latency(8))
+        assert result.workload_metrics["cond_broadcast_cycles"] > 0
+
+    def test_msa_signal_faster(self):
+        def probe(config):
+            machine = build_machine(config, n_cores=16)
+            result = run_workload(machine, microbench.cond_signal_latency())
+            return result.workload_metrics["cond_signal_cycles"]
+
+        assert probe("msa-omu-2") < probe("pthread")
+
+
+class TestRegistry:
+    def test_all_probes_registered(self):
+        assert set(microbench.MICROBENCHES) == set(microbench.METRIC_KEYS)
+        assert len(microbench.MICROBENCHES) == 5

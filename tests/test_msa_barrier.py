@@ -1,0 +1,221 @@
+"""Integration tests: MSA barrier protocol (paper section 4.2)."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.types import SyncOp, SyncResult
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+class TestBarrierBasics:
+    def test_all_threads_released_once(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        released = []
+
+        def make_body(i):
+            def body(th):
+                yield from th.compute(i * 17)
+                yield from th.barrier(addr, 8)
+                released.append((i, th.sim.now))
+            return body
+
+        run_threads(m, [make_body(i) for i in range(8)])
+        assert len(released) == 8
+
+    def test_nobody_released_before_last_arrival(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        last_arrival = [0]
+        releases = []
+
+        def make_body(i):
+            def body(th):
+                delay = 200 * i
+                yield from th.compute(delay)
+                last_arrival[0] = max(last_arrival[0], th.sim.now)
+                yield from th.barrier(addr, 4)
+                releases.append(th.sim.now)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(4)])
+        assert min(releases) >= last_arrival[0]
+
+    def test_barrier_reusable_across_episodes(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        log = []
+
+        def make_body(i):
+            def body(th):
+                for episode in range(5):
+                    yield from th.compute((i * 7 + episode * 13) % 50)
+                    yield from th.barrier(addr, 6)
+                    log.append((episode, i))
+            return body
+
+        run_threads(m, [make_body(i) for i in range(6)])
+        # Within each episode all threads pass before any thread of the
+        # next episode (barrier semantics).
+        for episode in range(5):
+            entries = [k for k, (e, _) in enumerate(log) if e == episode]
+            assert len(entries) == 6
+
+    def test_barrier_entry_freed_after_release(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var(home=5)
+
+        def body(th):
+            yield from th.barrier(addr, 4)
+
+        run_threads(m, [body] * 4)
+        assert m.msa_slice(5).entry_for(addr) is None
+
+    def test_mismatched_goal_raises(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+
+        def body_a(th):
+            yield from th.sync(SyncOp.BARRIER, addr, aux=3)
+
+        def body_b(th):
+            yield from th.compute(50)
+            yield from th.sync(SyncOp.BARRIER, addr, aux=4)
+
+        m.scheduler.spawn(body_a)
+        m.scheduler.spawn(body_b)
+        with pytest.raises(ProtocolError):
+            m.run(max_events=1_000_000)
+
+
+class TestBarrierOverflow:
+    def test_overflow_falls_back_to_software_consistently(self):
+        """When some arrivals FAIL (capacity), the whole episode must
+        complete in software -- no HW/SW split (deadlock risk the paper
+        describes in 4.2)."""
+        m = build_machine("msa-omu-1", n_cores=16)
+        # Occupy the single entry at home tile with a lock first.
+        barrier_addr = m.allocator.sync_var(home=3)
+        blocker = m.allocator.sync_var(home=3)
+        results = []
+
+        def hog(th):
+            yield from th.sync(SyncOp.LOCK, blocker)
+            yield from th.compute(4000)
+            yield from th.sync(SyncOp.UNLOCK, blocker)
+            yield from th.barrier(barrier_addr, 8)
+
+        def make_body(i):
+            def body(th):
+                # Arrive well after the hog owns the slice's only entry
+                # and well before it releases (cycle ~4000).
+                yield from th.compute(500 + 10 * i)
+                r = yield from th.sync(SyncOp.BARRIER, barrier_addr, aux=8)
+                results.append(r)
+                if r is not SyncResult.SUCCESS:
+                    yield from m.sync_library.fallback.barrier(th, barrier_addr, 8)
+                    yield from th.sync(SyncOp.FINISH, barrier_addr)
+            return body
+
+        bodies = [hog] + [make_body(i) for i in range(7)]
+        run_threads(m, bodies)
+        assert all(r is SyncResult.FAIL for r in results)
+        assert m.omu_totals() == 0
+
+    def test_mixed_capacity_episodes_still_correct(self):
+        """Alternating barrier/lock pressure on a 1-entry slice: every
+        episode completes, whichever implementation serves it."""
+        m = build_machine("msa-omu-1", n_cores=16)
+        barrier_addr = m.allocator.sync_var(home=0)
+        lock_addr = m.allocator.sync_var(home=0)
+        shared = m.allocator.line()
+
+        def make_body(i):
+            def body(th):
+                for k in range(4):
+                    yield from th.lock(lock_addr)
+                    v = yield from th.load(shared)
+                    yield from th.store(shared, v + 1)
+                    yield from th.unlock(lock_addr)
+                    yield from th.barrier(barrier_addr, 8)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(8)])
+        assert m.memory.peek(shared) == 32
+        assert m.omu_totals() == 0
+
+    def test_barrieronly_config_rejects_locks(self):
+        m = build_machine("msa-barrieronly-2", n_cores=16)
+        lock_addr = m.allocator.sync_var()
+        barrier_addr = m.allocator.sync_var()
+        results = {}
+
+        def body(th):
+            r = yield from th.sync(SyncOp.LOCK, lock_addr)
+            results.setdefault("lock", r)
+            if r is SyncResult.FAIL:
+                yield from th.sync(SyncOp.UNLOCK, lock_addr)
+            r = yield from th.sync(SyncOp.BARRIER, barrier_addr, aux=2)
+            results.setdefault("barrier", r)
+
+        run_threads(m, [body] * 2)
+        assert results["lock"] is SyncResult.FAIL
+        assert results["barrier"] is SyncResult.SUCCESS
+
+    def test_lockonly_config_rejects_barriers(self):
+        m = build_machine("msa-lockonly-2", n_cores=16)
+        barrier_addr = m.allocator.sync_var()
+        results = []
+
+        def body(th):
+            r = yield from th.sync(SyncOp.BARRIER, barrier_addr, aux=2)
+            results.append(r)
+            if r is SyncResult.FAIL:
+                yield from m.sync_library.fallback.barrier(th, barrier_addr, 2)
+                yield from th.sync(SyncOp.FINISH, barrier_addr)
+
+        run_threads(m, [body] * 2)
+        assert all(r is SyncResult.FAIL for r in results)
+
+
+class TestSoftwareBarriers:
+    @pytest.mark.parametrize("config", ["pthread", "spinlock", "mcs-tour"])
+    def test_software_barrier_correctness(self, config):
+        m = build_machine(config, n_cores=16)
+        addr = m.allocator.sync_var()
+        phase_counts = []
+        arrived = [0]
+
+        def make_body(i):
+            def body(th):
+                for phase in range(4):
+                    yield from th.compute((i * 31 + phase * 11) % 60)
+                    arrived[0] += 1
+                    yield from th.barrier(addr, 8)
+                    phase_counts.append(arrived[0])
+                    yield from th.barrier(addr, 8)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(8)])
+        # At each release, all 8 arrivals of that phase had happened.
+        assert all(count % 8 == 0 for count in phase_counts[::8])
+
+    def test_tournament_matches_central_barrier_semantics(self):
+        results = {}
+        for config in ("pthread", "mcs-tour"):
+            m = build_machine(config, n_cores=16)
+            addr = m.allocator.sync_var()
+            order = []
+
+            def make_body(i):
+                def body(th):
+                    for phase in range(3):
+                        yield from th.compute(i * 23)
+                        yield from th.barrier(addr, 8)
+                        order.append((phase, i))
+                return body
+
+            run_threads(m, [make_body(i) for i in range(8)])
+            results[config] = [e for e, _ in order]
+        assert results["pthread"] == results["mcs-tour"]

@@ -1,0 +1,263 @@
+"""Integration tests: MSA condition-variable protocol (section 4.3),
+including the UNLOCK&PIN / LOCK&UNPIN lock-pinning handshake."""
+
+import pytest
+
+from repro.common.types import SyncOp, SyncResult, SyncType
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+def entry_of(machine, addr):
+    return machine.msa_slice(machine.memory.amap.home_of(addr)).entry_for(addr)
+
+
+def producer_consumer(m, n_consumers=3, items=4, signal="signal"):
+    """Classic condvar workload; returns (consumed_log, shared_addrs)."""
+    lock = m.allocator.sync_var()
+    cond = m.allocator.sync_var()
+    queue_len = m.allocator.line()
+    consumed = []
+
+    def consumer(th):
+        for _ in range(items):
+            yield from th.lock(lock)
+            while True:
+                n = yield from th.load(queue_len)
+                if n > 0:
+                    break
+                yield from th.cond_wait(cond, lock)
+            yield from th.store(queue_len, n - 1)
+            consumed.append((th.tid, th.sim.now))
+            yield from th.unlock(lock)
+
+    def producer(th):
+        for _ in range(items * n_consumers):
+            yield from th.compute(60)
+            yield from th.lock(lock)
+            n = yield from th.load(queue_len)
+            yield from th.store(queue_len, n + 1)
+            if signal == "signal":
+                yield from th.cond_signal(cond)
+            else:
+                yield from th.cond_broadcast(cond)
+            yield from th.unlock(lock)
+
+    return [producer] + [consumer] * n_consumers, consumed, (lock, cond, queue_len)
+
+
+class TestCondVarHardware:
+    def test_signal_wakes_exactly_one_waiter(self, machine16):
+        m = machine16
+        bodies, consumed, _ = producer_consumer(m, n_consumers=3, items=4)
+        run_threads(m, bodies)
+        assert len(consumed) == 12
+
+    def test_broadcast_wakes_all(self, machine16):
+        m = machine16
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        woken = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            while True:
+                v = yield from th.load(flag)
+                if v:
+                    break
+                yield from th.cond_wait(cond, lock)
+            woken.append(th.tid)
+            yield from th.unlock(lock)
+
+        def broadcaster(th):
+            yield from th.compute(2000)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from th.cond_broadcast(cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter] * 6 + [broadcaster])
+        assert sorted(woken) == [0, 1, 2, 3, 4, 5]
+
+    def test_waiter_holds_lock_on_return(self, machine16):
+        m = machine16
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        holder_check = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            yield from th.cond_wait(cond, lock)
+            # We must own the lock here: the entry's owner is our core.
+            entry = entry_of(m, lock)
+            holder_check.append(entry is not None and entry.owner == th.core)
+            yield from th.unlock(lock)
+
+        def signaler(th):
+            yield from th.compute(1500)
+            yield from th.lock(lock)
+            yield from th.cond_signal(cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter, signaler])
+        assert holder_check == [True]
+
+    def test_lock_released_while_waiting(self, machine16):
+        """COND_WAIT must release the lock so others can take it."""
+        m = machine16
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        progress = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            yield from th.cond_wait(cond, lock)
+            yield from th.unlock(lock)
+
+        def worker(th):
+            yield from th.compute(800)
+            yield from th.lock(lock)  # must not deadlock
+            progress.append(th.sim.now)
+            yield from th.cond_signal(cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter, worker])
+        assert progress
+
+    def test_signal_with_no_waiter_fails_to_software_noop(self, machine16):
+        m = machine16
+        cond = m.allocator.sync_var()
+        results = []
+
+        def body(th):
+            r = yield from th.sync(SyncOp.COND_SIGNAL, cond)
+            results.append(r)
+
+        run_threads(m, [body])
+        assert results == [SyncResult.FAIL]
+
+    def test_lock_entry_pinned_while_condvar_active(self, machine16):
+        m = machine16
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        observed = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            yield from th.cond_wait(cond, lock)
+            yield from th.unlock(lock)
+
+        def observer(th):
+            yield from th.compute(1200)
+            lock_entry = entry_of(m, lock)
+            cond_entry = entry_of(m, cond)
+            observed.append(
+                (
+                    lock_entry is not None and lock_entry.pin_count,
+                    cond_entry is not None and cond_entry.sync_type,
+                )
+            )
+            yield from th.lock(lock)
+            yield from th.cond_signal(cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter, observer])
+        assert observed == [(1, SyncType.CONDVAR)]
+
+    def test_pin_released_after_last_waiter(self, machine16):
+        m = machine16
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+
+        def waiter(th):
+            yield from th.lock(lock)
+            yield from th.cond_wait(cond, lock)
+            yield from th.unlock(lock)
+
+        def signaler(th):
+            yield from th.compute(1500)
+            yield from th.lock(lock)
+            yield from th.cond_signal(cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter, signaler])
+        assert entry_of(m, cond) is None
+        lock_entry = entry_of(m, lock)
+        assert lock_entry is None or lock_entry.pin_count == 0
+
+    def test_cond_wait_fails_when_lock_in_software(self):
+        """Figure 4: a condvar whose lock is software-managed must be
+        handled in software too."""
+        m = build_machine("msa-omu-2", n_cores=16)
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        results = []
+        # Force the lock into software via OMU.
+        m.msa_slice(m.memory.amap.home_of(lock)).omu.increment(lock)
+
+        def waiter(th):
+            yield from th.lock(lock)  # FAILs -> software lock
+            r = yield from th.sync(SyncOp.COND_WAIT, cond, aux=lock)
+            results.append(r)
+            if r is SyncResult.FAIL:
+                # Software path: just release and finish.
+                yield from th.unlock(lock)
+                yield from th.sync(SyncOp.FINISH, cond)
+
+        run_threads(m, [waiter])
+        assert results == [SyncResult.FAIL]
+        assert entry_of(m, cond) is None
+
+
+class TestCondVarSoftwareAndHybrid:
+    @pytest.mark.parametrize(
+        "config", ["pthread", "msa0", "msa-omu-2", "msa-inf", "ideal"]
+    )
+    def test_producer_consumer_all_configs(self, config):
+        m = build_machine(config, n_cores=16)
+        bodies, consumed, (lock, cond, qlen) = producer_consumer(
+            m, n_consumers=3, items=3
+        )
+        run_threads(m, bodies)
+        assert len(consumed) == 9
+        assert m.memory.peek(qlen) == 0
+        assert m.omu_totals() == 0
+
+    @pytest.mark.parametrize("config", ["pthread", "msa-omu-2"])
+    def test_broadcast_all_configs(self, config):
+        m = build_machine(config, n_cores=16)
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        woken = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            while True:
+                v = yield from th.load(flag)
+                if v:
+                    break
+                yield from th.cond_wait(cond, lock)
+            woken.append(th.tid)
+            yield from th.unlock(lock)
+
+        def broadcaster(th):
+            yield from th.compute(3000)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from th.cond_broadcast(cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter] * 5 + [broadcaster])
+        assert len(woken) == 5
+
+    def test_condvar_overflow_to_software(self):
+        """1-entry slices: condvar entries compete with the lock entry;
+        the workload must still complete correctly."""
+        m = build_machine("msa-omu-1", n_cores=16)
+        bodies, consumed, _ = producer_consumer(m, n_consumers=2, items=3)
+        run_threads(m, bodies)
+        assert len(consumed) == 6
+        assert m.omu_totals() == 0

@@ -1,0 +1,332 @@
+"""Integration tests: MSA lock protocol (paper section 4.1)."""
+
+import pytest
+
+from repro.common.types import SyncOp, SyncResult, SyncType
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+def lock_of(machine, addr):
+    return machine.msa_slice(machine.memory.amap.home_of(addr)).entry_for(addr)
+
+
+class TestLockBasics:
+    def test_uncontended_lock_unlock_in_hardware(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        results = []
+
+        def body(th):
+            r1 = yield from th.sync(SyncOp.LOCK, addr)
+            r2 = yield from th.sync(SyncOp.UNLOCK, addr)
+            results.extend([r1, r2])
+
+        run_threads(m, [body])
+        assert results == [SyncResult.SUCCESS, SyncResult.SUCCESS]
+
+    def test_entry_allocated_at_home_tile(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var(home=7)
+        holding = []
+
+        def body(th):
+            yield from th.sync(SyncOp.LOCK, addr)
+            entry = lock_of(m, addr)
+            holding.append((entry is not None, entry and entry.sync_type))
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        run_threads(m, [body])
+        assert holding == [(True, SyncType.LOCK)]
+        assert m.memory.amap.home_of(addr) == 7
+
+    def test_mutual_exclusion_under_contention(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        in_cs = [0]
+        max_in_cs = [0]
+
+        def body(th):
+            for _ in range(5):
+                yield from th.lock(addr)
+                in_cs[0] += 1
+                max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+                yield from th.compute(15)
+                in_cs[0] -= 1
+                yield from th.unlock(addr)
+
+        run_threads(m, [body] * 8)
+        assert max_in_cs[0] == 1
+
+    def test_unlock_without_entry_fails_to_software(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        results = []
+
+        def body(th):
+            r = yield from th.sync(SyncOp.UNLOCK, addr)
+            results.append(r)
+
+        run_threads(m, [body])
+        assert results == [SyncResult.FAIL]
+
+    def test_entry_freed_when_hwqueue_empties_without_hwsync(self):
+        m = build_machine("msa-omu-2-noopt", n_cores=16)
+        addr = m.allocator.sync_var()
+
+        def body(th):
+            yield from th.sync(SyncOp.LOCK, addr)
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        run_threads(m, [body])
+        assert lock_of(m, addr) is None
+
+    def test_entry_probation_then_idle_cached_with_hwsync(self, machine16):
+        """With the HWSync optimization a lock entry lingers after one
+        use (probation, instantly evictable); once same-core reuse is
+        observed it stays armed across idle periods (idle-cached) so the
+        bit holder can silently re-acquire."""
+        m = machine16
+        addr = m.allocator.sync_var()
+        snapshots = []
+
+        def body(th):
+            yield from th.sync(SyncOp.LOCK, addr)
+            yield from th.sync(SyncOp.UNLOCK, addr)
+            # Let the (possibly silent/fire-and-forget) release reach
+            # the home tile before snapshotting the entry state.
+            yield from th.compute(100)
+            entry = lock_of(m, addr)
+            snapshots.append((entry is not None, entry and entry.evictable()))
+            yield from th.sync(SyncOp.LOCK, addr)  # reuse detected here
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        run_threads(m, [body])
+        assert snapshots == [(True, True)]  # probation after first use
+        entry = lock_of(m, addr)
+        assert entry is not None and entry.idle_cached()
+        assert entry.hwsync_core == 0 and entry.reuse_mode
+
+
+class TestNBTCFairness:
+    def test_round_robin_grant_order(self, machine16):
+        """With all cores continuously re-acquiring, NBTC round-robin
+        bounds how far grant counts can diverge."""
+        m = machine16
+        addr = m.allocator.sync_var()
+        grants = {i: 0 for i in range(8)}
+
+        def make_body(i):
+            def body(th):
+                for _ in range(10):
+                    yield from th.lock(addr)
+                    grants[i] += 1
+                    yield from th.compute(10)
+                    yield from th.unlock(addr)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(8)])
+        assert all(count == 10 for count in grants.values())
+
+    def test_no_starvation_with_asymmetric_threads(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        done_at = {}
+
+        def make_body(i, iters):
+            def body(th):
+                for _ in range(iters):
+                    yield from th.lock(addr)
+                    yield from th.compute(30)
+                    yield from th.unlock(addr)
+                done_at[i] = th.sim.now
+            return body
+
+        # Thread 7 wants the lock a few times amid heavy traffic from
+        # the others; NBTC must not starve it until the end.
+        bodies = [make_body(i, 20) for i in range(7)] + [make_body(7, 2)]
+        cycles = run_threads(m, bodies)
+        assert done_at[7] < cycles
+
+
+class TestOverflowSteering:
+    def test_capacity_overflow_steers_to_software(self):
+        m = build_machine("msa-omu-1", n_cores=4)
+        # Four locks homed at the same tile exceed the 1-entry slice.
+        addrs = [m.allocator.sync_var(home=2) for _ in range(4)]
+        fails = []
+
+        def make_body(i):
+            def body(th):
+                for _ in range(4):
+                    r = yield from th.sync(SyncOp.LOCK, addrs[i])
+                    if r is SyncResult.FAIL:
+                        fails.append(i)
+                        yield from m.sync_library.fallback.lock(th, addrs[i])
+                    yield from th.compute(50)
+                    r = yield from th.sync(SyncOp.UNLOCK, addrs[i])
+                    if r is SyncResult.FAIL:
+                        yield from m.sync_library.fallback.unlock(th, addrs[i])
+            return body
+
+        run_threads(m, [make_body(i) for i in range(4)])
+        assert fails  # At least some operations overflowed to software.
+
+    def test_omu_prevents_hw_grant_while_sw_active(self):
+        """The core correctness scenario from section 3.2: while threads
+        hold/wait on a lock in software, a freed-up MSA entry must NOT
+        be granted for that same lock."""
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        home = m.memory.amap.home_of(addr)
+        slice_ = m.msa_slice(home)
+        # Simulate pre-existing software activity on the address.
+        slice_.omu.increment(addr, 2)
+        results = []
+
+        def body(th):
+            r = yield from th.sync(SyncOp.LOCK, addr)
+            results.append(r)
+            if r is SyncResult.FAIL:
+                return
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        run_threads(m, [body])
+        assert results == [SyncResult.FAIL]
+        assert lock_of(m, addr) is None
+        # The failed LOCK incremented the counter further.
+        assert slice_.omu.total == 3
+
+    def test_sw_epoch_drains_then_hw_takes_over(self):
+        """After software activity drains (UNLOCK decrements), the next
+        acquire gets an MSA entry -- the OMU 'lull' behaviour."""
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        phases = []
+
+        def sw_holder(th):
+            # Force a software episode by pre-loading the OMU.
+            slice_ = m.msa_slice(m.memory.amap.home_of(addr))
+            slice_.omu.increment(addr)
+            r = yield from th.sync(SyncOp.LOCK, addr)
+            phases.append(("first", r))
+            yield from m.sync_library.fallback.lock(th, addr)
+            yield from th.compute(100)
+            yield from m.sync_library.fallback.unlock(th, addr)
+            r = yield from th.sync(SyncOp.UNLOCK, addr)
+            phases.append(("unlock", r))
+            # Pre-loaded increment is still outstanding; drain it.
+            m.msa_slice(m.memory.amap.home_of(addr)).omu.decrement(addr)
+            yield from th.compute(100)
+            r = yield from th.sync(SyncOp.LOCK, addr)
+            phases.append(("second", r))
+            if r is SyncResult.SUCCESS:
+                yield from th.sync(SyncOp.UNLOCK, addr)
+
+        run_threads(m, [sw_holder])
+        assert ("first", SyncResult.FAIL) in phases
+        assert ("unlock", SyncResult.FAIL) in phases
+        assert ("second", SyncResult.SUCCESS) in phases
+
+    def test_msa_inf_never_fails(self):
+        m = build_machine("msa-inf", n_cores=16)
+        addrs = [m.allocator.sync_var(home=3) for _ in range(30)]
+        results = []
+
+        def body(th):
+            for a in addrs:
+                r = yield from th.sync(SyncOp.LOCK, a)
+                results.append(r)
+                yield from th.sync(SyncOp.UNLOCK, a)
+
+        run_threads(m, [body])
+        assert all(r is SyncResult.SUCCESS for r in results)
+
+    def test_existing_entry_wins_over_full_slice(self):
+        """A request for an address that already has an entry is served
+        in hardware even when the slice is otherwise full."""
+        m = build_machine("msa-omu-1", n_cores=4)
+        addr = m.allocator.sync_var(home=1)
+        other = m.allocator.sync_var(home=1)
+        results = []
+
+        def holder(th):
+            r = yield from th.sync(SyncOp.LOCK, addr)
+            results.append(("hold", r))
+            yield from th.compute(300)
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        def prober(th):
+            yield from th.compute(100)
+            # Slice is full (addr owns the single entry): this fails...
+            r = yield from th.sync(SyncOp.LOCK, other)
+            results.append(("other", r))
+            if r is SyncResult.FAIL:
+                yield from th.sync(SyncOp.UNLOCK, other)  # balance OMU
+            # ...but a second acquire of addr hits the existing entry.
+            r = yield from th.sync(SyncOp.LOCK, addr)
+            results.append(("same", r))
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        run_threads(m, [holder, prober])
+        assert ("other", SyncResult.FAIL) in results
+        assert ("same", SyncResult.SUCCESS) in results
+
+
+class TestHybridAlgorithm:
+    def test_hybrid_lock_falls_back_transparently(self):
+        """Algorithm 1 end-to-end: mutual exclusion holds across mixed
+        HW/SW phases when capacity forces fallbacks."""
+        m = build_machine("msa-omu-1", n_cores=16)
+        locks = [m.allocator.sync_var(home=0) for _ in range(6)]
+        counters = {lock: m.allocator.line() for lock in locks}
+
+        def make_body(i):
+            def body(th):
+                for k in range(6):
+                    lock = locks[(i + k) % len(locks)]
+                    yield from th.lock(lock)
+                    v = yield from th.load(counters[lock])
+                    yield from th.compute(11)
+                    yield from th.store(counters[lock], v + 1)
+                    yield from th.unlock(lock)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(8)])
+        assert sum(m.memory.peek(c) for c in counters.values()) == 48
+        counters = m.msa_counters()
+        assert counters.get("ops_sw", 0) > 0  # some ops really fell back
+
+    def test_msa0_machine_all_software(self):
+        m = build_machine("msa0", n_cores=16)
+        addr = m.allocator.sync_var()
+        counter = m.allocator.line()
+
+        def body(th):
+            for _ in range(5):
+                yield from th.lock(addr)
+                v = yield from th.load(counter)
+                yield from th.store(counter, v + 1)
+                yield from th.unlock(addr)
+
+        run_threads(m, [body] * 4)
+        assert m.memory.peek(counter) == 20
+        assert m.sync_unit_counters()["always_fail"] > 0
+
+    def test_omu_counters_drain_to_zero_after_run(self):
+        """Balanced increments/decrements: once all threads finish, no
+        OMU counter should remain non-zero (legal programs)."""
+        m = build_machine("msa-omu-1", n_cores=16)
+        locks = [m.allocator.sync_var(home=0) for _ in range(5)]
+
+        def make_body(i):
+            def body(th):
+                for k in range(4):
+                    lock = locks[(i * 3 + k) % len(locks)]
+                    yield from th.lock(lock)
+                    yield from th.compute(13)
+                    yield from th.unlock(lock)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(8)])
+        assert m.omu_totals() == 0

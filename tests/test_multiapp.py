@@ -1,0 +1,124 @@
+"""Multi-application scenarios: the OMU motivation from section 3.2 --
+"an application may end up occupying all the entries ... thus leaving
+active applications with no hardware resources to use."
+
+We emulate application turnover by running one workload's sync-variable
+set to completion and then starting a second workload with a *fresh*
+variable set on the same machine.  With the OMU, the dead app's entries
+recycle; without it they are monopolized forever.
+"""
+
+import pytest
+
+from repro.harness.configs import build_machine
+
+
+def two_phase_workload(m, n_threads=8, locks_per_phase=32, iters=3):
+    """Phase A uses one lock set, then phase B uses a disjoint set.
+    Returns (coverage_b, cycles) measured over phase B only."""
+    phase_a = [m.allocator.sync_var(home=i % m.params.n_cores)
+               for i in range(locks_per_phase)]
+    phase_b = [m.allocator.sync_var(home=i % m.params.n_cores)
+               for i in range(locks_per_phase)]
+    barrier = m.allocator.sync_var()
+    marks = {}
+
+    def make_body(tid):
+        def body(th):
+            # --- application A ---
+            for k in range(iters):
+                lock = phase_a[(tid * 5 + k) % locks_per_phase]
+                yield from th.lock(lock)
+                yield from th.compute(25)
+                yield from th.unlock(lock)
+                yield from th.compute(40)
+            yield from th.barrier(barrier, n_threads)
+            if tid == 0:
+                marks["b_start_hw"] = m.msa_counters().get("ops_hw", 0)
+                marks["b_start_sw"] = m.msa_counters().get("ops_sw", 0)
+            yield from th.barrier(barrier, n_threads)
+            # --- application B (fresh synchronization variables) ---
+            for k in range(iters):
+                lock = phase_b[(tid * 7 + k) % locks_per_phase]
+                yield from th.lock(lock)
+                yield from th.compute(25)
+                yield from th.unlock(lock)
+                yield from th.compute(40)
+        return body
+
+    for tid in range(n_threads):
+        m.scheduler.spawn(make_body(tid))
+    cycles = m.run(max_events=10_000_000)
+    m.check_invariants()
+    counters = m.msa_counters()
+    hw = counters.get("ops_hw", 0) - marks["b_start_hw"]
+    sw = counters.get("ops_sw", 0) - marks["b_start_sw"]
+    coverage_b = hw / (hw + sw) if hw + sw else 0.0
+    return coverage_b, cycles
+
+
+class TestApplicationTurnover:
+    def test_omu_recycles_entries_for_the_new_app(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        coverage_b, _ = two_phase_workload(m)
+        assert coverage_b > 0.8
+
+    def test_without_omu_new_app_starves(self):
+        m = build_machine("msa-2-no-omu", n_cores=16)
+        coverage_b, _ = two_phase_workload(m)
+        with_omu = build_machine("msa-omu-2", n_cores=16)
+        coverage_with, _ = two_phase_workload(with_omu)
+        # Phase A's 32 locks + barrier hold entries forever; phase B's
+        # fresh variables find far fewer free slots.
+        assert coverage_b < coverage_with
+
+    def test_turnover_performance_gap(self):
+        def run(config):
+            m = build_machine(config, n_cores=16)
+            return two_phase_workload(m)[1]
+
+        # The OMU machine should not be slower on app turnover.
+        assert run("msa-omu-2") <= run("msa-2-no-omu") * 1.1
+
+
+class TestSuspendedAppHoldsNoResources:
+    def test_suspended_apps_entries_get_reclaimed(self):
+        """A 'suspended application': its threads stop issuing sync ops
+        while holding no locks.  Its idle entries must not block a
+        second app (the OMU/probation eviction reclaims them)."""
+        m = build_machine("msa-omu-1", n_cores=4)
+        app_a_locks = [m.allocator.sync_var(home=t) for t in range(4)]
+        app_b_locks = [m.allocator.sync_var(home=t) for t in range(4)]
+        results = []
+
+        def app_a(th):
+            # Touch every lock once (allocating entries), then go idle.
+            for lock in app_a_locks:
+                yield from th.lock(lock)
+                yield from th.unlock(lock)
+            yield from th.compute(20_000)
+
+        def app_b(th):
+            yield from th.compute(2_000)  # start after A went idle
+            hw = 0
+            for k in range(8):
+                lock = app_b_locks[k % 4]
+                from repro.common.types import SyncOp, SyncResult
+
+                r = yield from th.sync(SyncOp.LOCK, lock)
+                if r is SyncResult.SUCCESS:
+                    hw += 1
+                    yield from th.sync(SyncOp.UNLOCK, lock)
+                else:
+                    yield from m.sync_library.fallback.lock(th, lock)
+                    yield from m.sync_library.fallback.unlock(th, lock)
+                    yield from th.sync(SyncOp.UNLOCK, lock)
+                yield from th.compute(100)
+            results.append(hw)
+
+        m.scheduler.spawn(app_a, core=0)
+        m.scheduler.spawn(app_b, core=1)
+        m.run(max_events=5_000_000)
+        m.check_invariants()
+        # App B got hardware service for most of its operations.
+        assert results and results[0] >= 6

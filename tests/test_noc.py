@@ -1,0 +1,198 @@
+"""Unit and property tests for the 2D-mesh NoC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.params import NocParams
+from repro.noc.message import Message
+from repro.noc.network import Network
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+
+class TestTopology:
+    def test_requires_square_tile_count(self):
+        with pytest.raises(ConfigError):
+            MeshTopology(10)
+
+    def test_coords_row_major(self):
+        mesh = MeshTopology(16)
+        assert (mesh.coord(0).x, mesh.coord(0).y) == (0, 0)
+        assert (mesh.coord(5).x, mesh.coord(5).y) == (1, 1)
+        assert (mesh.coord(15).x, mesh.coord(15).y) == (3, 3)
+
+    def test_coord_roundtrip(self):
+        mesh = MeshTopology(64)
+        for tile in range(64):
+            assert mesh.tile_at(mesh.coord(tile)) == tile
+
+    def test_hops_manhattan(self):
+        mesh = MeshTopology(16)
+        assert mesh.hops(0, 15) == 6
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 3) == 3
+
+    def test_route_is_xy(self):
+        mesh = MeshTopology(16)
+        # From (0,0) to (2,1): x first, then y.
+        assert mesh.route(0, 6) == [0, 1, 2, 6]
+
+    def test_route_endpoints_and_length(self):
+        mesh = MeshTopology(64)
+        for src, dst in [(0, 63), (17, 42), (5, 5), (63, 0)]:
+            path = mesh.route(src, dst)
+            assert path[0] == src and path[-1] == dst
+            assert len(path) == mesh.hops(src, dst) + 1
+
+    def test_neighbors_corner_edge_center(self):
+        mesh = MeshTopology(16)
+        assert sorted(mesh.neighbors(0)) == [1, 4]
+        assert sorted(mesh.neighbors(1)) == [0, 2, 5]
+        assert sorted(mesh.neighbors(5)) == [1, 4, 6, 9]
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_route_hops_symmetric_count(self, src, dst):
+        mesh = MeshTopology(64)
+        assert mesh.hops(src, dst) == mesh.hops(dst, src)
+
+
+def _make_network(n_tiles=16, **noc_kwargs):
+    sim = Simulator()
+    network = Network(sim, n_tiles, NocParams(**noc_kwargs))
+    return sim, network
+
+
+class TestNetworkDelivery:
+    def test_message_delivered_to_registered_handler(self):
+        sim, net = _make_network()
+        got = []
+        net.register(5, "test", got.append)
+        net.send(Message(src=0, dst=5, kind="test.ping", payload={"x": 1}))
+        sim.run()
+        assert len(got) == 1 and got[0].payload == {"x": 1}
+
+    def test_unregistered_destination_raises(self):
+        sim, net = _make_network()
+        net.send(Message(src=0, dst=3, kind="test.ping"))
+        with pytest.raises(Exception):
+            sim.run()
+
+    def test_local_delivery_pays_injection_latency(self):
+        sim, net = _make_network()
+        seen = []
+        net.register(2, "t", lambda m: seen.append(sim.now))
+        net.send(Message(src=2, dst=2, kind="t.x"))
+        sim.run()
+        assert seen == [net.params.injection_latency]
+
+    def test_latency_proportional_to_hops(self):
+        sim, net = _make_network()
+        seen = {}
+        net.register(1, "t", lambda m: seen.setdefault(1, sim.now))
+        net.register(15, "t", lambda m: seen.setdefault(15, sim.now))
+        net.send(Message(src=0, dst=1, kind="t.x"))
+        net.send(Message(src=0, dst=15, kind="t.x"))
+        sim.run()
+        assert seen[15] > seen[1]
+
+    def test_fifo_order_same_source_destination(self):
+        """Messages from one source to one destination arrive in send
+        order -- the property the MSA's silent/revoke protocols rely on."""
+        sim, net = _make_network()
+        got = []
+        net.register(12, "t", lambda m: got.append(m.payload["seq"]))
+        for seq in range(20):
+            net.send(Message(src=3, dst=12, kind="t.x", payload={"seq": seq}))
+        sim.run()
+        assert got == list(range(20))
+
+    def test_fifo_order_holds_with_staggered_injection(self):
+        sim, net = _make_network()
+        got = []
+        net.register(15, "t", lambda m: got.append(m.payload["seq"]))
+
+        def inject(seq):
+            net.send(Message(src=0, dst=15, kind="t.x", payload={"seq": seq}))
+
+        for seq in range(10):
+            sim.schedule(seq * 2, lambda s=seq: inject(s))
+        sim.run()
+        assert got == list(range(10))
+
+    def test_exactly_once_delivery_under_load(self):
+        sim, net = _make_network(n_tiles=16)
+        received = []
+        for tile in range(16):
+            net.register(tile, "t", lambda m: received.append(m.msg_id))
+        sent = []
+        for src in range(16):
+            for dst in range(16):
+                msg = Message(src=src, dst=dst, kind="t.x")
+                sent.append(msg.msg_id)
+                net.send(msg)
+        sim.run()
+        assert sorted(received) == sorted(sent)
+
+    def test_contention_delays_hotspot_traffic(self):
+        """Many senders to one destination must see queuing delay."""
+        sim1, quiet = _make_network()
+        done = {}
+        quiet.register(0, "t", lambda m: done.setdefault("quiet", sim1.now))
+        quiet.send(Message(src=15, dst=0, kind="t.x"))
+        sim1.run()
+
+        sim2, busy = _make_network()
+        arrivals = []
+        busy.register(0, "t", lambda m: arrivals.append(sim2.now))
+        for src in range(1, 16):
+            busy.send(Message(src=src, dst=0, kind="t.x"))
+        busy.send(Message(src=15, dst=0, kind="t.y"))
+        sim2.run()
+        assert max(arrivals) > done["quiet"]
+        assert busy.stats.counter("link_stall_cycles").value > 0
+
+
+class TestNetworkStats:
+    def test_counters_track_sends_and_deliveries(self):
+        sim, net = _make_network()
+        net.register(1, "coh", lambda m: None)
+        net.register(1, "msa", lambda m: None)
+        net.send(Message(src=0, dst=1, kind="coh.gets"))
+        net.send(Message(src=0, dst=1, kind="msa.req"))
+        sim.run()
+        assert net.stats.counter("messages_sent").value == 2
+        assert net.stats.counter("messages_delivered").value == 2
+        assert net.stats.counter("sent.coh").value == 1
+        assert net.stats.counter("sent.msa").value == 1
+
+    def test_round_trip_estimate_monotonic_in_distance(self):
+        _, net = _make_network(n_tiles=64)
+        estimates = [net.round_trip_estimate(0, d) for d in (0, 1, 9, 63)]
+        assert estimates == sorted(estimates)
+        assert estimates[0] < estimates[-1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15), st.integers(0, 50)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_all_messages_delivered_exactly_once(pairs):
+    sim = Simulator()
+    net = Network(sim, 16)
+    delivered = []
+    for tile in range(16):
+        net.register(tile, "t", lambda m: delivered.append(m.msg_id))
+    ids = []
+    for src, dst, when in pairs:
+        def send(s=src, d=dst):
+            msg = Message(src=s, dst=d, kind="t.x")
+            ids.append(msg.msg_id)
+            net.send(msg)
+        sim.schedule(when, send)
+    sim.run()
+    assert sorted(delivered) == sorted(ids)

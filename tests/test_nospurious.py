@@ -1,0 +1,176 @@
+"""Tests for the no-spurious-wakeup condition-wait variant (paper
+section 4.3.2's timestamp scheme)."""
+
+import pytest
+
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+def machine():
+    return build_machine("msa-omu-2", n_cores=16)
+
+
+class TestNoSpuriousBasics:
+    def test_plain_if_predicate_is_safe(self):
+        """The whole point: the waiter may use `if`, not `while`."""
+        m = machine()
+        lib = m.sync_library
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        observed = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            value = yield from th.load(flag)
+            if not value:
+                yield from lib.cond_wait_no_spurious(th, cond, lock)
+            value = yield from th.load(flag)
+            observed.append(value)
+            yield from th.unlock(lock)
+
+        def signaler(th):
+            yield from th.compute(1500)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from lib.cond_signal_no_spurious(th, cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter, signaler])
+        assert observed == [1]
+
+    def test_broadcast_wakes_all_no_spurious(self):
+        m = machine()
+        lib = m.sync_library
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        woke = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            value = yield from th.load(flag)
+            if not value:
+                yield from lib.cond_wait_no_spurious(th, cond, lock)
+            woke.append(th.tid)
+            yield from th.unlock(lock)
+
+        def caster(th):
+            yield from th.compute(2500)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from lib.cond_broadcast_no_spurious(th, cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter] * 5 + [caster])
+        assert sorted(woke) == [0, 1, 2, 3, 4]
+
+
+class TestSuspensionDoesNotLeak:
+    def test_aborted_waiter_rewaits_instead_of_returning(self):
+        """A suspension-induced ABORT with no intervening signal must
+        loop back to waiting -- not return control to the caller."""
+        m = machine()
+        lib = m.sync_library
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        returned = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            value = yield from th.load(flag)
+            if not value:
+                yield from lib.cond_wait_no_spurious(th, cond, lock)
+            value = yield from th.load(flag)
+            returned.append(value)
+            yield from th.unlock(lock)
+
+        def signaler(th):
+            yield from th.compute(9000)  # long after the suspension
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from lib.cond_signal_no_spurious(th, cond)
+            yield from th.unlock(lock)
+
+        t_waiter = m.scheduler.spawn(waiter, core=0)
+        m.scheduler.spawn(signaler, core=1)
+        m.sim.schedule(1000, lambda: m.scheduler.suspend(t_waiter))
+        m.sim.schedule(2200, lambda: m.scheduler.resume(t_waiter))
+        m.run(max_events=5_000_000)
+        m.check_invariants()
+        # The waiter only ever saw flag == 1: no spurious return.
+        assert returned == [1]
+        ctx = m.scheduler.contexts[0]
+        assert ctx.stats.counter("nospurious_rewaits").value >= 1
+        assert m.omu_totals() == 0
+
+    def test_signal_racing_suspension_still_returns(self):
+        """If a signal *did* occur around the suspension, the aborted
+        waiter's timestamp check lets it return rather than re-wait."""
+        m = machine()
+        lib = m.sync_library
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        done = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            value = yield from th.load(flag)
+            if not value:
+                yield from lib.cond_wait_no_spurious(th, cond, lock)
+            done.append(th.sim.now)
+            yield from th.unlock(lock)
+
+        def signaler(th):
+            yield from th.compute(1200)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from lib.cond_signal_no_spurious(th, cond)
+            yield from th.unlock(lock)
+
+        t_waiter = m.scheduler.spawn(waiter, core=0)
+        m.scheduler.spawn(signaler, core=1)
+        # Suspend roughly when the signal is being delivered.
+        m.sim.schedule(1210, lambda: m.scheduler.suspend(t_waiter))
+        m.sim.schedule(2000, lambda: m.scheduler.resume(t_waiter))
+        m.run(max_events=5_000_000)
+        m.check_invariants()
+        assert len(done) == 1
+        assert m.omu_totals() == 0
+
+    def test_software_fallback_path_no_spurious(self):
+        """When the condvar runs in software (OMU-steered), the variant
+        still provides no-spurious semantics."""
+        m = machine()
+        lib = m.sync_library
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        # Steer the condvar to software.
+        m.msa_slice(m.memory.amap.home_of(cond)).omu.increment(cond)
+        returned = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            value = yield from th.load(flag)
+            if not value:
+                yield from lib.cond_wait_no_spurious(th, cond, lock)
+            value = yield from th.load(flag)
+            returned.append(value)
+            yield from th.unlock(lock)
+
+        def signaler(th):
+            yield from th.compute(2000)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from lib.cond_signal_no_spurious(th, cond)
+            yield from th.unlock(lock)
+
+        run_threads(m, [waiter, signaler])
+        assert returned == [1]
+        # Drain the artificial increment for the balance check.
+        m.msa_slice(m.memory.amap.home_of(cond)).omu.decrement(cond)
+        assert m.omu_totals() == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the Overflow Management Unit (counters and counting
+Bloom filter)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import OMUParams
+from repro.common.stats import StatSet
+from repro.msa.omu import CountingBloomOmu, OverflowManagementUnit, make_omu
+
+
+def counter_omu(n_counters=4, **kwargs):
+    return OverflowManagementUnit(
+        OMUParams(n_counters=n_counters, **kwargs), StatSet("t")
+    )
+
+
+def bloom_omu(n_counters=16, hashes=2):
+    return CountingBloomOmu(
+        OMUParams(n_counters=n_counters, use_bloom=True, bloom_hashes=hashes),
+        StatSet("t"),
+    )
+
+
+ADDR = 0x1000
+
+
+class TestCounters:
+    def test_fresh_omu_inactive(self):
+        omu = counter_omu()
+        assert not omu.is_active(ADDR)
+
+    def test_increment_marks_active(self):
+        omu = counter_omu()
+        omu.increment(ADDR)
+        assert omu.is_active(ADDR)
+
+    def test_balanced_decrement_clears(self):
+        omu = counter_omu()
+        omu.increment(ADDR, 3)
+        omu.decrement(ADDR)
+        assert omu.is_active(ADDR)
+        omu.decrement(ADDR, 2)
+        assert not omu.is_active(ADDR)
+
+    def test_aliasing_same_counter(self):
+        """Addresses whose lines differ by a multiple of n_counters alias
+        (untagged indexing): activity on one steers the other to SW."""
+        omu = counter_omu(n_counters=4)
+        alias = ADDR + 4 * 64  # 4 lines away with 4 counters
+        omu.increment(ADDR)
+        assert omu.is_active(alias)
+
+    def test_distinct_counters_independent(self):
+        omu = counter_omu(n_counters=4)
+        other = ADDR + 64  # next line, different counter
+        omu.increment(ADDR)
+        assert not omu.is_active(other)
+
+    def test_underflow_clamped_and_counted(self):
+        omu = counter_omu()
+        omu.decrement(ADDR)
+        assert not omu.is_active(ADDR)
+        assert omu.stats.counter("omu_underflows").value == 1
+
+    def test_saturation_at_counter_max(self):
+        omu = counter_omu(counter_bits=2)  # max 3
+        omu.increment(ADDR, 100)
+        assert omu.snapshot()[(ADDR >> 6) % 4] == 3
+
+    def test_total_sums_counters(self):
+        omu = counter_omu(n_counters=4)
+        omu.increment(ADDR)
+        omu.increment(ADDR + 64, 2)
+        assert omu.total == 3
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        omu = bloom_omu()
+        omu.increment(ADDR)
+        assert omu.is_active(ADDR)
+
+    def test_bloom_reduces_aliasing(self):
+        """With k=2 hashes over 16 counters, a single active address
+        rarely makes another address read active."""
+        omu = bloom_omu(n_counters=16, hashes=2)
+        omu.increment(ADDR)
+        others = [ADDR + i * 64 for i in range(1, 40)]
+        false_positives = sum(omu.is_active(a) for a in others)
+        simple = counter_omu(n_counters=16)
+        simple.increment(ADDR)
+        simple_fp = sum(simple.is_active(a) for a in others)
+        assert false_positives <= simple_fp
+
+    def test_balanced_ops_clear_bloom(self):
+        omu = bloom_omu()
+        addrs = [ADDR + i * 64 for i in range(10)]
+        for a in addrs:
+            omu.increment(a)
+        for a in addrs:
+            omu.decrement(a)
+        for a in addrs:
+            assert not omu.is_active(a)
+
+    def test_factory_selects_variant(self):
+        assert isinstance(
+            make_omu(OMUParams(use_bloom=True), StatSet("t")), CountingBloomOmu
+        )
+        made = make_omu(OMUParams(), StatSet("t"))
+        assert isinstance(made, OverflowManagementUnit)
+        assert not isinstance(made, CountingBloomOmu)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 7), st.booleans()), min_size=1, max_size=100
+    ),
+    use_bloom=st.booleans(),
+)
+def test_property_active_whenever_software_activity_outstanding(events, use_bloom):
+    """The safety property the MSA relies on: while any address has more
+    increments than decrements, is_active(addr) must be True (no false
+    'inactive').  Decrements are only applied when legal (balance > 0),
+    mirroring how FINISH/UNLOCK pair with earlier failures."""
+    params = OMUParams(n_counters=8, use_bloom=use_bloom)
+    omu = make_omu(params, StatSet("t"))
+    balance = {}
+    for slot, is_inc in events:
+        addr = 0x4000 + slot * 64
+        if is_inc:
+            omu.increment(addr)
+            balance[addr] = balance.get(addr, 0) + 1
+        elif balance.get(addr, 0) > 0:
+            omu.decrement(addr)
+            balance[addr] -= 1
+        for a, b in balance.items():
+            if b > 0:
+                assert omu.is_active(a)

@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.kernel import Delay, Future, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(10, lambda: order.append("b"))
+        sim.schedule(5, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_cycle_events_fire_in_schedule_order(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.schedule(7, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_last_event(self, sim):
+        sim.schedule(42, lambda: None)
+        assert sim.run() == 42
+
+    def test_zero_delay_runs_this_cycle(self, sim):
+        seen = []
+        sim.schedule(5, lambda: sim.schedule(0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_run_until_bounds_clock(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append(1))
+        sim.schedule(100, lambda: fired.append(2))
+        assert sim.run(until=50) == 50
+        assert fired == [1]
+        assert sim.pending_events == 1
+
+    def test_max_events_guard(self, sim):
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_nested_scheduling_from_callback(self, sim):
+        seen = []
+        sim.schedule(1, lambda: sim.schedule(2, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3]
+
+
+class TestFuture:
+    def test_complete_resolves_value(self, sim):
+        fut = Future(sim)
+        fut.complete(42)
+        assert fut.done and fut.value == 42
+
+    def test_double_complete_rejected(self, sim):
+        fut = Future(sim)
+        fut.complete(1)
+        with pytest.raises(SimulationError):
+            fut.complete(2)
+
+    def test_value_before_completion_rejected(self, sim):
+        fut = Future(sim)
+        with pytest.raises(SimulationError):
+            _ = fut.value
+
+    def test_complete_at_delay(self, sim):
+        fut = Future(sim)
+        seen = []
+        fut.add_callback(lambda v: seen.append((sim.now, v)))
+        fut.complete_at(13, "x")
+        sim.run()
+        assert seen == [(13, "x")]
+
+    def test_callback_on_already_complete_future_fires_immediately(self, sim):
+        fut = Future(sim)
+        fut.complete("y")
+        seen = []
+        fut.add_callback(seen.append)
+        assert seen == ["y"]
+
+
+class TestProcess:
+    def test_process_yields_int_delay(self, sim):
+        marks = []
+
+        def body():
+            marks.append(sim.now)
+            yield 10
+            marks.append(sim.now)
+            yield 5
+            marks.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert marks == [0, 10, 15]
+
+    def test_process_yields_delay_object(self, sim):
+        marks = []
+
+        def body():
+            yield Delay(7)
+            marks.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert marks == [7]
+
+    def test_process_waits_on_future_and_receives_value(self, sim):
+        fut = Future(sim)
+        got = []
+
+        def body():
+            value = yield fut
+            got.append((sim.now, value))
+
+        sim.process(body())
+        sim.schedule(30, lambda: fut.complete("payload"))
+        sim.run()
+        assert got == [(30, "payload")]
+
+    def test_process_return_value_and_on_exit(self, sim):
+        def body():
+            yield 1
+            return "done"
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.finished and proc.result == "done"
+        assert proc.on_exit.done and proc.on_exit.value == "done"
+
+    def test_yield_from_composition(self, sim):
+        log = []
+
+        def inner():
+            yield 5
+            return "inner-result"
+
+        def outer():
+            result = yield from inner()
+            log.append((sim.now, result))
+
+        sim.process(outer())
+        sim.run()
+        assert log == [(5, "inner-result")]
+
+    def test_bad_yield_type_raises(self, sim):
+        def body():
+            yield "not-a-valid-yield"
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unfinished_process_listed(self, sim):
+        fut = Future(sim)
+
+        def body():
+            yield fut
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc in sim.unfinished_processes()
+        assert proc.blocked_on is fut
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_event_counts(self):
+        def build_and_run():
+            sim = Simulator()
+            results = []
+
+            def worker(n):
+                for _ in range(n):
+                    yield n
+                results.append((sim.now, n))
+
+            for n in (3, 5, 7):
+                sim.process(worker(n))
+            sim.run()
+            return sim.now, sim.events_processed, tuple(results)
+
+        assert build_and_run() == build_and_run()

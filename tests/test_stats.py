@@ -1,0 +1,119 @@
+"""Unit tests for the statistics primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    StatSet,
+    geomean,
+    merge_counters,
+)
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert int(c) == 6
+        c.reset()
+        assert c.value == 0
+
+    def test_repr(self):
+        c = Counter("hits")
+        c.inc(3)
+        assert "hits=3" in repr(c)
+
+
+class TestHistogram:
+    def test_empty_histogram_safe(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.maximum == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_basic_moments(self):
+        h = Histogram("lat")
+        for v in (1, 2, 3, 4):
+            h.add(v)
+        assert h.count == 4
+        assert h.total == 10
+        assert h.mean == 2.5
+        assert h.minimum == 1 and h.maximum == 4
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.add(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+    def test_property_percentile_bounds(self, samples):
+        h = Histogram("x")
+        for s in samples:
+            h.add(s)
+        for p in (0, 25, 50, 75, 100):
+            value = h.percentile(p)
+            assert h.minimum <= value <= h.maximum
+
+
+class TestStatSet:
+    def test_counter_and_histogram_registry(self):
+        stats = StatSet("unit")
+        stats.counter("a").inc()
+        stats.histogram("h").add(7.0)
+        assert stats["a"].value == 1
+        assert stats["h"].mean == 7.0
+        assert "a" in stats and "h" in stats and "zzz" not in stats
+
+    def test_unknown_stat_raises(self):
+        with pytest.raises(KeyError):
+            StatSet("unit")["nope"]
+
+    def test_same_name_returns_same_object(self):
+        stats = StatSet("unit")
+        assert stats.counter("c") is stats.counter("c")
+
+    def test_as_dict_flattens(self):
+        stats = StatSet("unit")
+        stats.counter("c").inc(2)
+        stats.histogram("h").add(4.0)
+        flat = stats.as_dict()
+        assert flat["c"] == 2
+        assert flat["h.count"] == 1
+        assert flat["h.mean"] == 4.0
+
+    def test_reset_clears_everything(self):
+        stats = StatSet("unit")
+        stats.counter("c").inc()
+        stats.histogram("h").add(1.0)
+        stats.reset()
+        assert stats.counters["c"] == 0
+        assert stats.histograms["h"].count == 0
+
+
+class TestAggregation:
+    def test_merge_counters_sums_by_name(self):
+        a, b = StatSet("a"), StatSet("b")
+        a.counter("x").inc(2)
+        b.counter("x").inc(3)
+        b.counter("y").inc(1)
+        merged = merge_counters([a, b])
+        assert merged == {"x": 5, "y": 1}
+
+    def test_geomean_basics(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, -1.0]) == 0.0  # non-positives ignored
+        assert geomean([2.0, 0.0]) == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=50))
+    def test_property_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

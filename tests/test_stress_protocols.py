@@ -1,0 +1,159 @@
+"""Protocol stress: tiny caches, tiny MSA, heavy churn.
+
+Shrinking the hardware structures (2-set direct-mapped-ish L1s,
+1-entry MSA slices) forces the rare transitions -- eviction races,
+directory queue depth, entry thrash -- far more often than realistic
+sizes do.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import CacheParams, MachineParams, MSAParams, OMUParams
+from repro.machine import Machine
+
+
+def tiny_machine(n_cores=4, entries=1, seed=7):
+    params = MachineParams(
+        n_cores=n_cores,
+        l1=CacheParams(n_sets=2, associativity=2),
+        msa=MSAParams(entries_per_tile=entries),
+        omu=OMUParams(n_counters=2),
+        seed=seed,
+    )
+    return Machine(params, library="hybrid")
+
+
+def run(machine, max_events=10_000_000):
+    cycles = machine.run(max_events=max_events)
+    machine.check_invariants()
+    return cycles
+
+
+class TestTinyCaches:
+    def test_heavy_eviction_churn_preserves_data(self):
+        m = tiny_machine()
+        # 16 lines across 2 sets x 2 ways: constant eviction.
+        base = 1 << 22
+        addrs = [base + i * 64 for i in range(16)]
+
+        def make_body(i):
+            def body(th):
+                for round_ in range(6):
+                    for k, addr in enumerate(addrs):
+                        if (i + k + round_) % 2:
+                            yield from th.fetch_add(addr, 1)
+                        else:
+                            yield from th.load(addr)
+            return body
+
+        for core in range(4):
+            m.scheduler.spawn(make_body(core))
+        run(m)
+        total = sum(m.memory.peek(a) for a in addrs)
+        # Every fetch_add accounted: sum of per-thread counts.
+        expected = sum(
+            1
+            for i in range(4)
+            for round_ in range(6)
+            for k in range(16)
+            if (i + k + round_) % 2
+        )
+        assert total == expected
+        assert m.memory.l1s[0].stats.counter("evictions").value > 10
+
+    def test_sync_vars_thrash_through_tiny_cache(self):
+        m = tiny_machine()
+        lock = m.allocator.sync_var()
+        counter = m.allocator.line()
+        filler = [1 << 23 | (i * 64) for i in range(8)]
+
+        def body(th):
+            for k in range(5):
+                yield from th.lock(lock)
+                value = yield from th.load(counter)
+                yield from th.store(counter, value + 1)
+                yield from th.unlock(lock)
+                # Evict everything between critical sections.
+                for addr in filler:
+                    yield from th.store(addr, k)
+
+        for core in range(4):
+            m.scheduler.spawn(body)
+        run(m)
+        assert m.memory.peek(counter) == 20
+
+
+class TestTinyMSA:
+    def test_one_entry_slice_with_lock_and_barrier_thrash(self):
+        m = tiny_machine(entries=1)
+        locks = [m.allocator.sync_var(home=t) for t in range(4)]
+        barrier = m.allocator.sync_var()
+        counters = {lock: m.allocator.line() for lock in locks}
+
+        def make_body(i):
+            def body(th):
+                for round_ in range(4):
+                    lock = locks[(i + round_) % 4]
+                    yield from th.lock(lock)
+                    value = yield from th.load(counters[lock])
+                    yield from th.store(counters[lock], value + 1)
+                    yield from th.unlock(lock)
+                    yield from th.barrier(barrier, 4)
+            return body
+
+        for i in range(4):
+            m.scheduler.spawn(make_body(i))
+        run(m)
+        assert sum(m.memory.peek(c) for c in counters.values()) == 16
+        assert m.omu_totals() == 0
+
+    def test_two_counter_omu_heavy_aliasing(self):
+        """With 2 OMU counters, aliasing steers aggressively; the runs
+        stay correct (aliasing is performance-only)."""
+        m = tiny_machine(entries=1)
+        locks = [m.allocator.sync_var(home=0) for _ in range(6)]
+        shared = m.allocator.line()
+
+        def make_body(i):
+            def body(th):
+                for k in range(5):
+                    lock = locks[(i * 2 + k) % 6]
+                    yield from th.lock(lock)
+                    value = yield from th.load(shared)
+                    yield from th.store(shared, value + 1)
+                    yield from th.unlock(lock)
+            return body
+
+        # All increments on one shared word, different locks: the word
+        # update itself races unless we count per lock... use a single
+        # lock-protected invariant instead: total CS entries.
+        # (Different locks protect different *data* in real code; here
+        # we only verify the machine completes and stays consistent.)
+        for i in range(4):
+            m.scheduler.spawn(make_body(i))
+        run(m)
+        assert m.omu_totals() == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_lines=st.integers(2, 12),
+    rounds=st.integers(1, 5),
+    seed=st.integers(0, 100),
+)
+def test_property_tiny_cache_rmw_linearizable(n_lines, rounds, seed):
+    m = tiny_machine(seed=seed)
+    base = 1 << 24
+    addrs = [base + i * 64 for i in range(n_lines)]
+
+    def body(th):
+        for r in range(rounds):
+            for addr in addrs:
+                yield from th.fetch_add(addr, 1)
+
+    for core in range(4):
+        m.scheduler.spawn(body)
+    run(m)
+    for addr in addrs:
+        assert m.memory.peek(addr) == 4 * rounds

@@ -1,0 +1,277 @@
+"""Integration tests: thread suspension, resumption, and migration
+(paper sections 4.1.2, 4.2.2, 4.3.2)."""
+
+import pytest
+
+from repro.common.types import SyncOp, SyncResult
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+def controller_process(machine, actions):
+    """A sim process that performs (time, fn) scheduler actions."""
+
+    def body():
+        now = 0
+        for when, fn in actions:
+            if when > now:
+                yield when - now
+                now = when
+            fn()
+
+    return body
+
+
+class TestLockSuspension:
+    def test_suspended_waiter_dequeued_and_reacquires_after_resume(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        log = []
+
+        def holder(th):
+            yield from th.lock(addr)
+            yield from th.compute(3000)
+            yield from th.unlock(addr)
+            log.append(("holder_released", th.sim.now))
+
+        def waiter(th):
+            yield from th.compute(200)
+            yield from th.lock(addr)  # blocks; suspended mid-wait
+            log.append(("waiter_got", th.sim.now))
+            yield from th.unlock(addr)
+
+        t_holder = m.scheduler.spawn(holder, core=0)
+        t_waiter = m.scheduler.spawn(waiter, core=1)
+        m.sim.schedule(1000, lambda: m.scheduler.suspend(t_waiter))
+        m.sim.schedule(5000, lambda: m.scheduler.resume(t_waiter))
+        m.run(max_events=2_000_000)
+        m.check_invariants()
+        got = dict(log)
+        # The waiter only gets the lock after it resumes (>= 5000),
+        # even though the holder released at ~3000.
+        assert got["waiter_got"] >= 5000
+        assert m.msa_counters().get("lock_suspends", 0) == 1
+
+    def test_waiter_migrates_and_reacquires_on_new_core(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        cores_seen = []
+
+        def holder(th):
+            yield from th.lock(addr)
+            yield from th.compute(2500)
+            yield from th.unlock(addr)
+
+        def waiter(th):
+            yield from th.compute(100)
+            yield from th.lock(addr)
+            cores_seen.append(th.core)
+            yield from th.unlock(addr)
+
+        m.scheduler.spawn(holder, core=0)
+        t_waiter = m.scheduler.spawn(waiter, core=1)
+        m.sim.schedule(800, lambda: m.scheduler.suspend(t_waiter))
+        m.sim.schedule(1500, lambda: m.scheduler.resume(t_waiter, core=9))
+        m.run(max_events=2_000_000)
+        m.check_invariants()
+        assert cores_seen == [9]
+
+    def test_owner_migration_unlock_from_other_core_aborts_waiters(self):
+        """The paper's 4.1.2 scenario: the owner unlocks from a core
+        whose HWQueue bit is not set; waiters get ABORT and fall back to
+        software; the OMU keeps them safe."""
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        events = []
+
+        def owner(th):
+            yield from th.lock(addr)
+            yield from th.compute(4000)  # suspended + migrated in here
+            yield from th.unlock(addr)
+            events.append(("owner_unlocked", th.core))
+
+        def waiter(th):
+            yield from th.compute(500)
+            yield from th.lock(addr)
+            events.append(("waiter_got", th.sim.now))
+            yield from th.unlock(addr)
+
+        t_owner = m.scheduler.spawn(owner, core=0)
+        for c in (1, 2):
+            m.scheduler.spawn(waiter, core=c)
+        m.sim.schedule(1000, lambda: m.scheduler.suspend(t_owner))
+        m.sim.schedule(1400, lambda: m.scheduler.resume(t_owner, core=7))
+        m.run(max_events=2_000_000)
+        m.check_invariants()
+        tags = [tag for tag, _ in events]
+        assert tags.count("waiter_got") == 2
+        assert ("owner_unlocked", 7) in events
+        assert m.msa_counters().get("migrated_unlocks", 0) == 1
+        assert m.msa_counters().get("ops_aborted", 0) >= 1
+        assert m.omu_totals() == 0  # balanced after software fallback
+
+
+class TestBarrierSuspension:
+    def test_suspension_forces_whole_barrier_to_software(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        passed = []
+
+        def make_body(i):
+            def body(th):
+                yield from th.compute(50 * i)
+                yield from th.barrier(addr, 6)
+                passed.append(i)
+            return body
+
+        threads = [m.scheduler.spawn(make_body(i)) for i in range(6)]
+        # Suspend thread 0 while it waits at the barrier (arrives ~cycle
+        # 30; last arrival would be ~cycle 300).
+        m.sim.schedule(150, lambda: m.scheduler.suspend(threads[0]))
+        m.sim.schedule(2000, lambda: m.scheduler.resume(threads[0]))
+        m.run(max_events=4_000_000)
+        m.check_invariants()
+        assert sorted(passed) == [0, 1, 2, 3, 4, 5]
+        assert m.msa_counters().get("barrier_suspends", 0) == 1
+        assert m.omu_totals() == 0
+
+    def test_barrier_suspension_no_double_release(self):
+        """Threads already aborted to software must not also be released
+        by a later hardware episode."""
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        release_counts = {i: 0 for i in range(4)}
+
+        def make_body(i):
+            def body(th):
+                for _ in range(3):
+                    yield from th.compute(30 * (i + 1))
+                    yield from th.barrier(addr, 4)
+                    release_counts[i] += 1
+            return body
+
+        threads = [m.scheduler.spawn(make_body(i)) for i in range(4)]
+        m.sim.schedule(100, lambda: m.scheduler.suspend(threads[3]))
+        m.sim.schedule(3000, lambda: m.scheduler.resume(threads[3]))
+        m.run(max_events=4_000_000)
+        m.check_invariants()
+        assert all(count == 3 for count in release_counts.values())
+
+
+class TestCondVarSuspension:
+    def test_suspended_waiter_aborts_with_spurious_wakeup(self):
+        """A condvar waiter interrupted mid-wait completes with ABORT,
+        re-acquires the lock, and re-checks its predicate (the POSIX
+        spurious-wakeup contract)."""
+        m = build_machine("msa-omu-2", n_cores=16)
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        wakeups = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            while True:
+                v = yield from th.load(flag)
+                if v:
+                    break
+                yield from th.cond_wait(cond, lock)
+                wakeups.append(th.sim.now)
+            yield from th.unlock(lock)
+
+        def setter(th):
+            yield from th.compute(6000)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from th.cond_signal(cond)
+            yield from th.unlock(lock)
+
+        t_waiter = m.scheduler.spawn(waiter, core=0)
+        m.scheduler.spawn(setter, core=1)
+        m.sim.schedule(1000, lambda: m.scheduler.suspend(t_waiter))
+        m.sim.schedule(2000, lambda: m.scheduler.resume(t_waiter))
+        m.run(max_events=4_000_000)
+        m.check_invariants()
+        # At least two wakeups: the spurious one (ABORT) and the real one.
+        assert len(wakeups) >= 2
+        assert m.msa_counters().get("cond_suspends", 0) == 1
+        assert m.omu_totals() == 0
+
+    def test_suspend_last_waiter_unpins_lock(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+
+        def waiter(th):
+            yield from th.lock(lock)
+            while True:
+                v = yield from th.load(flag)
+                if v:
+                    break
+                yield from th.cond_wait(cond, lock)
+            yield from th.unlock(lock)
+
+        def setter(th):
+            yield from th.compute(5000)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from th.cond_broadcast(cond)
+            yield from th.unlock(lock)
+
+        t_waiter = m.scheduler.spawn(waiter, core=0)
+        m.scheduler.spawn(setter, core=1)
+        m.sim.schedule(1200, lambda: m.scheduler.suspend(t_waiter))
+        m.sim.schedule(2400, lambda: m.scheduler.resume(t_waiter))
+        m.run(max_events=4_000_000)
+        m.check_invariants()
+        home = m.memory.amap.home_of(lock)
+        entry = m.msa_slice(home).entry_for(lock)
+        assert entry is None or entry.pin_count == 0
+
+
+class TestSchedulerBasics:
+    def test_suspend_resume_mid_compute(self):
+        m = build_machine("pthread", n_cores=4)
+        marks = []
+
+        def body(th):
+            yield from th.compute(100)
+            yield from th.load(1 << 22)
+            marks.append(th.sim.now)
+
+        t = m.scheduler.spawn(body, core=0)
+        m.sim.schedule(50, lambda: m.scheduler.suspend(t))
+        m.sim.schedule(800, lambda: m.scheduler.resume(t))
+        m.run()
+        # The load completes only after resume (plus context switch).
+        assert marks and marks[0] >= 800
+
+    def test_resume_to_busy_core_rejected(self):
+        from repro.common.errors import SimulationError
+
+        m = build_machine("pthread", n_cores=4)
+
+        def body(th):
+            yield from th.compute(10_000)
+
+        t0 = m.scheduler.spawn(body, core=0)
+        m.scheduler.spawn(body, core=1)
+        m.scheduler.suspend(t0)
+        with pytest.raises(SimulationError):
+            m.scheduler.resume(t0, core=1)
+        m.scheduler.resume(t0, core=2)
+        m.run()
+
+    def test_spawn_more_threads_than_cores_rejected(self):
+        from repro.common.errors import SimulationError
+
+        m = build_machine("pthread", n_cores=4)
+
+        def body(th):
+            yield from th.compute(1)
+
+        for core in range(4):
+            m.scheduler.spawn(body)
+        with pytest.raises(SimulationError):
+            m.scheduler.spawn(body)

@@ -1,0 +1,59 @@
+"""Unit tests for the software-synchronization state registry."""
+
+import pytest
+
+from repro.harness.configs import build_machine
+from repro.runtime.swsync.registry import WORD_SIZE, SwStateRegistry
+
+
+@pytest.fixture
+def registry():
+    machine = build_machine("pthread", n_cores=16)
+    return SwStateRegistry(machine.allocator), machine
+
+
+class TestWordSlots:
+    def test_slots_offset_within_line(self):
+        base = 1 << 20
+        assert SwStateRegistry.word(base, 0) == base
+        assert SwStateRegistry.word(base, 1) == base + WORD_SIZE
+        assert SwStateRegistry.word(base, 3) == base + 3 * WORD_SIZE
+
+    def test_slots_stay_on_the_same_line(self, registry):
+        reg, machine = registry
+        base = machine.allocator.line()
+        amap = machine.memory.amap
+        for slot in range(8):
+            assert amap.line_of(SwStateRegistry.word(base, slot)) == amap.line_of(
+                base
+            )
+
+
+class TestPrivateLines:
+    def test_stable_across_calls(self, registry):
+        reg, _ = registry
+        a1 = reg.private_line("mcs", 0x100, 3)
+        a2 = reg.private_line("mcs", 0x100, 3)
+        assert a1 == a2
+
+    def test_distinct_keys_distinct_lines(self, registry):
+        reg, machine = registry
+        amap = machine.memory.amap
+        lines = {
+            amap.line_of(reg.private_line("mcs", 0x100, tid))
+            for tid in range(16)
+        }
+        assert len(lines) == 16
+
+    def test_namespaces_do_not_collide(self, registry):
+        reg, _ = registry
+        a = reg.private_line("tour_arrive", 0x200, 1, 0)
+        b = reg.private_line("tour_release", 0x200, 1)
+        c = reg.private_line("mcs", 0x200, 1)
+        assert len({a, b, c}) == 3
+
+    def test_registry_lines_disjoint_from_fresh_allocations(self, registry):
+        reg, machine = registry
+        node = reg.private_line("mcs", 0x300, 0)
+        fresh = machine.allocator.line()
+        assert node != fresh

@@ -1,0 +1,57 @@
+"""Tests for the sweep/CSV utilities."""
+
+import pytest
+
+from repro.harness.sweep import add_speedups, from_csv, sweep, to_csv
+from repro.workloads.kernels import KERNELS
+
+
+@pytest.fixture(scope="module")
+def points():
+    factories = {"streamcluster": KERNELS["streamcluster"]}
+    pts = sweep(
+        configs=("pthread", "msa-omu-2"),
+        workload_factories=factories,
+        cores=(16,),
+        scale=0.25,
+    )
+    add_speedups(pts, baseline_config="pthread")
+    return pts
+
+
+class TestSweep:
+    def test_grid_size(self, points):
+        assert len(points) == 2
+
+    def test_speedup_annotation(self, points):
+        by_config = {p.config: p for p in points}
+        assert by_config["pthread"].extras["speedup"] == 1.0
+        assert by_config["msa-omu-2"].extras["speedup"] > 1.0
+
+    def test_machine_hook_called(self):
+        seen = []
+        sweep(
+            configs=("pthread",),
+            workload_factories={"barnes": KERNELS["barnes"]},
+            cores=(16,),
+            scale=0.25,
+            machine_hook=lambda m: seen.append(m.params.n_cores),
+        )
+        assert seen == [16]
+
+
+class TestCsv:
+    def test_round_trip(self, points, tmp_path):
+        path = tmp_path / "sweep.csv"
+        text = to_csv(points, path=str(path))
+        assert path.read_text() == text
+        rows = from_csv(text)
+        assert len(rows) == 2
+        assert {r["config"] for r in rows} == {"pthread", "msa-omu-2"}
+        assert float(rows[0]["cycles"]) > 0
+
+    def test_coverage_column_blank_for_software(self, points):
+        rows = from_csv(to_csv(points))
+        by_config = {r["config"]: r for r in rows}
+        assert by_config["pthread"]["msa_coverage"] == ""
+        assert float(by_config["msa-omu-2"]["msa_coverage"]) > 0

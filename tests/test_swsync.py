@@ -1,0 +1,259 @@
+"""Unit/integration tests for the software synchronization library:
+futex service, mutexes, spin/ticket/MCS locks, barriers, condvars."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+def mutex_workload(m, n_threads, iters, cs_compute=9):
+    lock = m.allocator.sync_var()
+    counter = m.allocator.line()
+
+    def body(th):
+        for _ in range(iters):
+            yield from th.lock(lock)
+            v = yield from th.load(counter)
+            yield from th.compute(cs_compute)
+            yield from th.store(counter, v + 1)
+            yield from th.unlock(lock)
+
+    return [body] * n_threads, counter
+
+
+class TestFutexService:
+    def test_wait_returns_eagain_when_value_changed(self):
+        m = build_machine("pthread", n_cores=4)
+        results = []
+
+        def body(th):
+            yield from th.store(4096, 7)
+            slept = yield from m.futex.wait(th, 4096, expected=0)
+            results.append(slept)
+
+        run_threads(m, [body])
+        assert results == [False]
+
+    def test_wait_then_wake(self):
+        m = build_machine("pthread", n_cores=4)
+        events = []
+
+        def sleeper(th):
+            slept = yield from m.futex.wait(th, 4096, expected=0)
+            events.append(("woke", th.sim.now, slept))
+
+        def waker(th):
+            yield from th.compute(1000)
+            woken = yield from m.futex.wake(th, 4096, 1)
+            events.append(("wake_done", woken))
+
+        run_threads(m, [sleeper, waker])
+        woke = [e for e in events if e[0] == "woke"][0]
+        assert woke[1] >= 1000 and woke[2] is True
+        assert ("wake_done", 1) in events
+
+    def test_wake_count_limits_wakeups(self):
+        m = build_machine("pthread", n_cores=16)
+        woke = []
+
+        def sleeper(th):
+            yield from m.futex.wait(th, 8192, expected=0)
+            woke.append(th.tid)
+
+        def waker(th):
+            yield from th.compute(2000)
+            yield from m.futex.wake(th, 8192, 2)
+            yield from th.compute(2000)
+            yield from m.futex.wake(th, 8192, 10)
+
+        run_threads(m, [sleeper] * 4 + [waker])
+        assert sorted(woke) == [0, 1, 2, 3]
+
+    def test_wake_with_no_sleepers_returns_zero(self):
+        m = build_machine("pthread", n_cores=4)
+        got = []
+
+        def body(th):
+            woken = yield from m.futex.wake(th, 4096, 5)
+            got.append(woken)
+
+        run_threads(m, [body])
+        assert got == [0]
+
+
+@pytest.mark.parametrize("config", ["pthread", "spinlock", "ticket", "mcs-tour"])
+class TestMutualExclusionAllLocks:
+    def test_counter_integrity(self, config):
+        m = build_machine(config, n_cores=16)
+        bodies, counter = mutex_workload(m, 8, 8)
+        run_threads(m, bodies)
+        assert m.memory.peek(counter) == 64
+
+    def test_single_thread_fast_path(self, config):
+        m = build_machine(config, n_cores=16)
+        bodies, counter = mutex_workload(m, 1, 20)
+        cycles = run_threads(m, bodies)
+        assert m.memory.peek(counter) == 20
+        # Uncontended lock+unlock should be well under a microsecond
+        # (1000 cycles) each.
+        assert cycles < 20 * 1000
+
+
+class TestTicketLock:
+    def test_fifo_order(self):
+        m = build_machine("ticket", n_cores=16)
+        lock = m.allocator.sync_var()
+        order = []
+
+        def make_body(i):
+            def body(th):
+                # Stagger arrivals so ticket order is deterministic.
+                yield from th.compute(100 * i + 1)
+                yield from th.lock(lock)
+                order.append(i)
+                yield from th.compute(400)
+                yield from th.unlock(lock)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(6)])
+        assert order == sorted(order)
+
+
+class TestMCSLock:
+    def test_local_spin_no_global_ping_pong(self):
+        """MCS waiters spin on their own node, so the *lock word* sees
+        one access per acquire, not one per poll."""
+        m = build_machine("mcs-tour", n_cores=16)
+        lock = m.allocator.sync_var()
+        done = []
+
+        def body(th):
+            for _ in range(4):
+                yield from th.lock(lock)
+                yield from th.compute(120)
+                yield from th.unlock(lock)
+            done.append(1)
+
+        run_threads(m, [body] * 6)
+        assert len(done) == 6
+
+    def test_handoff_faster_than_pthread_at_scale(self):
+        def contended_cycles(config, n=16):
+            m = build_machine(config, n_cores=n)
+            bodies, counter = mutex_workload(m, n, 6, cs_compute=5)
+            cycles = run_threads(m, bodies)
+            assert m.memory.peek(counter) == n * 6
+            return cycles
+
+        assert contended_cycles("mcs-tour") < contended_cycles("pthread")
+
+
+class TestBarriers:
+    @pytest.mark.parametrize("config", ["pthread", "spinlock", "mcs-tour"])
+    def test_no_thread_passes_early(self, config):
+        """On exiting episode k, all 8 arrivals of episode k must have
+        happened (arrivals of episode k+1 may already be under way)."""
+        m = build_machine(config, n_cores=16)
+        barrier = m.allocator.sync_var()
+        arrived = [0]
+        violations = []
+
+        def make_body(i):
+            def body(th):
+                for episode in range(3):
+                    yield from th.compute(37 * (i + 1))
+                    arrived[0] += 1
+                    yield from th.barrier(barrier, 8)
+                    if arrived[0] < (episode + 1) * 8:
+                        violations.append((episode, arrived[0]))
+            return body
+
+        run_threads(m, [make_body(i) for i in range(8)])
+        assert not violations
+
+    def test_tournament_single_participant(self):
+        m = build_machine("mcs-tour", n_cores=4)
+        barrier = m.allocator.sync_var()
+        done = []
+
+        def body(th):
+            yield from th.barrier(barrier, 1)
+            done.append(1)
+
+        run_threads(m, [body])
+        assert done == [1]
+
+    def test_tournament_non_power_of_two(self):
+        m = build_machine("mcs-tour", n_cores=16)
+        barrier = m.allocator.sync_var()
+        passed = []
+
+        def body(th):
+            for _ in range(3):
+                yield from th.barrier(barrier, 6)
+                passed.append(th.tid)
+
+        run_threads(m, [body] * 6)
+        assert len(passed) == 18
+
+
+class TestSoftwareCondvar:
+    def test_no_lost_wakeup_race(self):
+        """Signal racing the waiter's sleep entry must not be lost (the
+        futex seq re-check)."""
+        m = build_machine("pthread", n_cores=4)
+        lock = m.allocator.sync_var()
+        cond = m.allocator.sync_var()
+        flag = m.allocator.line()
+        done = []
+
+        def waiter(th):
+            yield from th.lock(lock)
+            while True:
+                v = yield from th.load(flag)
+                if v:
+                    break
+                yield from th.cond_wait(cond, lock)
+            yield from th.unlock(lock)
+            done.append("waiter")
+
+        def signaler(th):
+            # Signal almost immediately: tight race with wait entry.
+            yield from th.compute(40)
+            yield from th.lock(lock)
+            yield from th.store(flag, 1)
+            yield from th.cond_signal(cond)
+            yield from th.unlock(lock)
+            done.append("signaler")
+
+        run_threads(m, [waiter, signaler])
+        assert sorted(done) == ["signaler", "waiter"]
+
+    def test_signal_without_waiters_is_cheap_noop(self):
+        m = build_machine("pthread", n_cores=4)
+        cond = m.allocator.sync_var()
+
+        def body(th):
+            yield from th.cond_signal(cond)
+            yield from th.cond_broadcast(cond)
+
+        cycles = run_threads(m, [body])
+        assert cycles < 500  # no futex syscall on the fast path
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    config=st.sampled_from(["pthread", "spinlock", "mcs-tour", "msa-omu-2"]),
+    n_threads=st.integers(2, 8),
+    iters=st.integers(1, 6),
+    cs=st.integers(0, 40),
+)
+def test_property_mutual_exclusion_every_library(config, n_threads, iters, cs):
+    """Counter integrity (the canonical mutual-exclusion witness) holds
+    for every lock implementation at random thread/iteration scales."""
+    m = build_machine(config, n_cores=16)
+    bodies, counter = mutex_workload(m, n_threads, iters, cs_compute=cs)
+    run_threads(m, bodies)
+    assert m.memory.peek(counter) == n_threads * iters

@@ -1,0 +1,103 @@
+"""Tests for the structured tracing subsystem."""
+
+import pytest
+
+from repro.harness.configs import build_machine
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceEvent, Tracer
+from tests.conftest import run_threads
+
+
+class TestTracerUnit:
+    def test_disabled_by_default(self):
+        tracer = Tracer(Simulator())
+        tracer.record("msa", "x", "y")
+        assert tracer.events == []
+        assert not tracer.active
+
+    def test_enable_records_only_that_category(self):
+        tracer = Tracer(Simulator())
+        tracer.enable("msa")
+        tracer.record("msa", "slice0", "allocate", "lock")
+        tracer.record("sched", "thread0", "suspend")
+        assert len(tracer.events) == 1
+        assert tracer.events[0].what == "allocate"
+
+    def test_disable_specific_and_all(self):
+        tracer = Tracer(Simulator())
+        tracer.enable("a", "b")
+        tracer.disable("a")
+        tracer.record("a", "x", "y")
+        tracer.record("b", "x", "y")
+        assert len(tracer.events) == 1
+        tracer.disable()
+        tracer.record("b", "x", "y")
+        assert len(tracer.events) == 1
+
+    def test_capacity_drops_counted(self):
+        tracer = Tracer(Simulator(), max_events=3)
+        tracer.enable("t")
+        for _ in range(5):
+            tracer.record("t", "x", "y")
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 2
+        assert "dropped" in tracer.format()
+
+    def test_filter_and_counts(self):
+        tracer = Tracer(Simulator())
+        tracer.enable("t")
+        tracer.record("t", "a", "open")
+        tracer.record("t", "a", "close")
+        tracer.record("t", "b", "open")
+        assert len(tracer.filter(where="a")) == 2
+        assert len(tracer.filter(what="open")) == 2
+        assert tracer.counts()[("t", "open")] == 2
+
+    def test_event_str_contains_fields(self):
+        event = TraceEvent(42, "msa", "slice3", "respond", ("success",))
+        text = str(event)
+        assert "42" in text and "msa" in text and "respond" in text
+
+
+class TestMachineTracing:
+    def test_msa_events_traced(self, machine16):
+        m = machine16
+        m.tracer.enable("msa")
+        addr = m.allocator.sync_var()
+
+        def body(th):
+            yield from th.lock(addr)
+            yield from th.unlock(addr)
+
+        run_threads(m, [body])
+        whats = {e.what for e in m.tracer.events}
+        assert "allocate" in whats
+        assert "respond" in whats
+
+    def test_scheduler_events_traced(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        m.tracer.enable("sched")
+
+        def body(th):
+            yield from th.compute(5000)
+
+        t = m.scheduler.spawn(body, core=0)
+        m.sim.schedule(100, lambda: m.scheduler.suspend(t))
+        m.sim.schedule(900, lambda: m.scheduler.resume(t, core=5))
+        m.run()
+        whats = [e.what for e in m.tracer.events]
+        assert whats == ["suspend", "migrate"]
+
+    def test_tracing_off_costs_nothing_visible(self):
+        """Runs with tracing disabled produce identical cycle counts to
+        a machine that never had a tracer touched."""
+        from repro.harness.runner import run_workload
+        from repro.workloads.kernels import KERNELS
+
+        def run(enable):
+            m = build_machine("msa-omu-2", n_cores=16, seed=3)
+            if enable:
+                m.tracer.enable("msa")
+            return run_workload(m, KERNELS["streamcluster"](16, 0.25)).cycles
+
+        assert run(False) == run(True)

@@ -1,0 +1,220 @@
+"""Tests for the TRYLOCK ISA extension (non-blocking acquire)."""
+
+import pytest
+
+from repro.common.types import SyncOp, SyncResult
+from repro.harness.configs import build_machine
+from tests.conftest import run_threads
+
+
+class TestTrylockHardware:
+    def test_free_lock_acquired(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        got = []
+
+        def body(th):
+            acquired = yield from m.sync_library.trylock(th, addr)
+            got.append(acquired)
+            if acquired:
+                yield from th.unlock(addr)
+
+        run_threads(m, [body])
+        assert got == [True]
+        assert m.omu_totals() == 0
+
+    def test_held_lock_returns_busy_without_waiting(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        events = []
+
+        def holder(th):
+            yield from th.lock(addr)
+            yield from th.compute(3000)
+            yield from th.unlock(addr)
+
+        def trier(th):
+            yield from th.compute(300)
+            t0 = th.sim.now
+            acquired = yield from m.sync_library.trylock(th, addr)
+            events.append((acquired, th.sim.now - t0))
+
+        run_threads(m, [holder, trier])
+        acquired, latency = events[0]
+        assert acquired is False
+        # Returned long before the holder's release at ~3000.
+        assert latency < 500
+
+    def test_trylock_instruction_results(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        results = []
+
+        def holder(th):
+            r = yield from th.sync(SyncOp.TRYLOCK, addr)
+            results.append(("first", r))
+            yield from th.compute(1000)
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        def trier(th):
+            yield from th.compute(200)
+            r = yield from th.sync(SyncOp.TRYLOCK, addr)
+            results.append(("second", r))
+
+        run_threads(m, [holder, trier])
+        assert ("first", SyncResult.SUCCESS) in results
+        assert ("second", SyncResult.BUSY) in results
+
+    def test_silent_trylock_after_rearm(self, machine16):
+        """An idle-armed HWSync bit serves trylocks too."""
+        m = machine16
+        addr = m.allocator.sync_var()
+        got = []
+
+        def body(th):
+            # Two plain acquires enter reuse mode and arm the bit.
+            for _ in range(2):
+                yield from th.lock(addr)
+                yield from th.unlock(addr)
+                yield from th.compute(120)
+            acquired = yield from m.sync_library.trylock(th, addr)
+            got.append(acquired)
+            yield from th.unlock(addr)
+
+        run_threads(m, [body])
+        assert got == [True]
+        assert m.sync_unit_counters().get("silent_lock_hits", 0) >= 1
+
+    def test_never_enqueues(self, machine16):
+        """Concurrent trylocks on a held lock leave no HWQueue waiters."""
+        m = machine16
+        addr = m.allocator.sync_var()
+        outcomes = []
+
+        def holder(th):
+            yield from th.lock(addr)
+            yield from th.compute(2000)
+            entry = m.msa_slice(m.memory.amap.home_of(addr)).entry_for(addr)
+            outcomes.append(("waiters", len(entry.waiters)))
+            yield from th.unlock(addr)
+
+        def trier(th):
+            yield from th.compute(100 + th.tid * 50)
+            acquired = yield from m.sync_library.trylock(th, addr)
+            outcomes.append(("try", acquired))
+
+        run_threads(m, [holder] + [trier] * 4)
+        assert ("waiters", 0) in outcomes
+        tries = [v for k, v in outcomes if k == "try"]
+        assert tries == [False] * 4
+
+
+class TestTrylockSoftwareFallback:
+    def test_fail_path_software_acquire_balances_omu(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        # Steer the lock to software.
+        m.msa_slice(m.memory.amap.home_of(addr)).omu.increment(addr)
+        got = []
+
+        def body(th):
+            acquired = yield from m.sync_library.trylock(th, addr)
+            got.append(acquired)
+            if acquired:
+                yield from th.compute(50)
+                yield from th.unlock(addr)
+
+        run_threads(m, [body])
+        assert got == [True]
+        m.msa_slice(m.memory.amap.home_of(addr)).omu.decrement(addr)
+        assert m.omu_totals() == 0
+
+    def test_fail_path_busy_software_lock_balances_omu(self):
+        m = build_machine("msa-omu-2", n_cores=16)
+        addr = m.allocator.sync_var()
+        slice_ = m.msa_slice(m.memory.amap.home_of(addr))
+        slice_.omu.increment(addr)
+        got = []
+
+        def holder(th):
+            yield from m.sync_library.fallback.lock(th, addr)
+            yield from th.compute(2500)
+            yield from m.sync_library.fallback.unlock(th, addr)
+
+        def trier(th):
+            yield from th.compute(400)
+            acquired = yield from m.sync_library.trylock(th, addr)
+            got.append(acquired)
+
+        run_threads(m, [holder, trier])
+        assert got == [False]
+        slice_.omu.decrement(addr)
+        # The failed software trylock FINISHed its OMU charge.
+        assert m.omu_totals() == 0
+
+    def test_msa0_trylock_works(self):
+        m = build_machine("msa0", n_cores=16)
+        addr = m.allocator.sync_var()
+        got = []
+
+        def body(th):
+            acquired = yield from m.sync_library.trylock(th, addr)
+            got.append(acquired)
+            if acquired:
+                yield from th.unlock(addr)
+
+        run_threads(m, [body])
+        assert got == [True]
+
+
+class TestTrylockIdeal:
+    def test_ideal_trylock(self):
+        m = build_machine("ideal", n_cores=16)
+        addr = m.allocator.sync_var()
+        got = []
+
+        def holder(th):
+            r = yield from th.sync(SyncOp.TRYLOCK, addr)
+            got.append(r)
+            yield from th.compute(1000)
+            yield from th.sync(SyncOp.UNLOCK, addr)
+
+        def trier(th):
+            yield from th.compute(200)
+            r = yield from th.sync(SyncOp.TRYLOCK, addr)
+            got.append(r)
+
+        run_threads(m, [holder, trier])
+        assert got == [SyncResult.SUCCESS, SyncResult.BUSY]
+
+
+class TestTrylockMutualExclusion:
+    def test_mixed_trylock_lock_counter_integrity(self, machine16):
+        m = machine16
+        addr = m.allocator.sync_var()
+        counter = m.allocator.line()
+        attempts = [0]
+
+        def make_body(i):
+            def body(th):
+                done = 0
+                while done < 4:
+                    if i % 2 == 0:
+                        acquired = yield from m.sync_library.trylock(th, addr)
+                        attempts[0] += 1
+                        if not acquired:
+                            yield from th.compute(60)
+                            continue
+                    else:
+                        yield from th.lock(addr)
+                    value = yield from th.load(counter)
+                    yield from th.compute(5)
+                    yield from th.store(counter, value + 1)
+                    yield from th.unlock(addr)
+                    done += 1
+                    yield from th.compute(35)
+            return body
+
+        run_threads(m, [make_body(i) for i in range(6)])
+        assert m.memory.peek(counter) == 24
+        assert m.omu_totals() == 0

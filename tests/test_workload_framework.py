@@ -1,0 +1,122 @@
+"""Tests for the workload framework itself: setup/validate hooks, the
+controller process, metrics recording, and error reporting."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.harness.configs import build_machine
+from repro.harness.runner import run_workload
+from repro.workloads.base import Workload, WorkloadEnv
+
+
+def trivial_body(th):
+    yield from th.compute(10)
+
+
+class TestHooks:
+    def test_setup_hook_runs_before_threads(self):
+        order = []
+
+        def setup(env):
+            order.append("setup")
+            env.shared["lock"] = env.allocator.sync_var()
+
+        def make(env):
+            order.append("make")
+            assert "lock" in env.shared
+            return [trivial_body]
+
+        wl = Workload(
+            name="t", n_threads=1, make_threads=make, setup_fn=setup
+        )
+        run_workload(build_machine("pthread", n_cores=4), wl)
+        assert order == ["setup", "make"]
+
+    def test_validate_hook_failure_raises(self):
+        wl = Workload(
+            name="t",
+            n_threads=1,
+            make_threads=lambda env: [trivial_body],
+            validate_fn=lambda env: env.expect(False, "boom"),
+        )
+        with pytest.raises(WorkloadError, match="boom"):
+            run_workload(build_machine("pthread", n_cores=4), wl)
+
+    def test_validate_skipped_without_check(self):
+        wl = Workload(
+            name="t",
+            n_threads=1,
+            make_threads=lambda env: [trivial_body],
+            validate_fn=lambda env: env.expect(False, "boom"),
+        )
+        result = run_workload(
+            build_machine("pthread", n_cores=4), wl, check=False
+        )
+        assert result.cycles >= 0
+
+    def test_wrong_body_count_rejected(self):
+        wl = Workload(
+            name="t", n_threads=2, make_threads=lambda env: [trivial_body]
+        )
+        with pytest.raises(WorkloadError, match="expected 2 bodies"):
+            run_workload(build_machine("pthread", n_cores=4), wl)
+
+    def test_too_many_threads_rejected(self):
+        wl = Workload(
+            name="t", n_threads=9, make_threads=lambda env: [trivial_body] * 9
+        )
+        with pytest.raises(WorkloadError, match="hardware thread contexts"):
+            run_workload(build_machine("pthread", n_cores=4), wl)
+
+    def test_metrics_recorded(self):
+        def make(env):
+            env.record("custom_metric", 42.5)
+            return [trivial_body]
+
+        wl = Workload(name="t", n_threads=1, make_threads=make)
+        result = run_workload(build_machine("pthread", n_cores=4), wl)
+        assert result.workload_metrics["custom_metric"] == 42.5
+
+
+class TestController:
+    def test_controller_drives_scheduler_events(self):
+        """A workload controller process can inject suspensions: the
+        canonical use is scripted OS interference."""
+
+        def make(env):
+            lock = env.allocator.sync_var()
+            env.shared["lock"] = lock
+            log = env.shared.setdefault("log", [])
+
+            def holder(th):
+                yield from th.lock(lock)
+                yield from th.compute(2000)
+                yield from th.unlock(lock)
+
+            def waiter(th):
+                yield from th.compute(100)
+                yield from th.lock(lock)
+                log.append(th.sim.now)
+                yield from th.unlock(lock)
+
+            return [holder, waiter]
+
+        def controller(env):
+            # Suspend the waiter mid-wait, resume later.
+            yield 600
+            waiter_thread = env.machine.scheduler.threads[1]
+            env.machine.scheduler.suspend(waiter_thread)
+            yield 3000
+            env.machine.scheduler.resume(waiter_thread)
+
+        wl = Workload(
+            name="scripted",
+            n_threads=2,
+            make_threads=make,
+            controller=controller,
+        )
+        machine = build_machine("msa-omu-2", n_cores=16)
+        result = run_workload(machine, wl)
+        log = machine.scheduler.contexts  # threads completed
+        assert result.cycles >= 3600
+        assert machine.msa_counters().get("lock_suspends", 0) == 1
