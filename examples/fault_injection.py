@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fault injection: the accelerator protocols surviving a hostile NoC
+and a dying MSA slice.
+
+Two demos:
+
+1. A drop-plan sweep -- 0%, 5%, and 15% of ``msa.*`` messages silently
+   dropped on the wire.  The reliable transport retransmits, the sync
+   units retry, and every lock-protected increment still lands; the
+   only visible cost is cycles.
+
+2. A slice kill -- tile 3's MSA dies mid-run.  The victims' requests
+   time out, the fault plane declares the home dead, the orphaned lock
+   hands over through the recovery table, and from then on tile 3's
+   variables run in software while every other tile keeps its hardware
+   coverage.
+
+    python examples/fault_injection.py
+"""
+
+from repro.common.params import FaultParams
+from repro.faults import KILL, FaultPlan, SliceFault, drop_plan
+from repro.harness.configs import build_machine, machine_params
+from repro.machine import Machine
+
+N_THREADS = 8
+ITERS = 12
+
+
+def spawn_lock_workload(m, locks, counters):
+    def body(th):
+        for _ in range(ITERS):
+            for lock, counter in zip(locks, counters):
+                yield from th.lock(lock)
+                value = yield from th.load(counter)
+                yield from th.compute(10)
+                yield from th.store(counter, value + 1)
+                yield from th.unlock(lock)
+
+    for _ in range(N_THREADS):
+        m.scheduler.spawn(body)
+
+
+def demo_drop_sweep():
+    print("== NoC drop sweep (msa.* messages dropped on the wire) ==")
+    print(f"{'drop':>5} {'cycles':>9} {'dropped':>8} {'retransmits':>11} "
+          f"{'retries':>8}")
+    baseline = None
+    for rate in (0.0, 0.05, 0.15):
+        plan = drop_plan(rate, seed=1) if rate else None
+        m = build_machine("msa-omu-2", n_cores=16, seed=7, fault_plan=plan)
+        locks = [m.allocator.sync_var(home=t) for t in (2, 9, 14)]
+        counters = [m.allocator.line() for _ in locks]
+        spawn_lock_workload(m, locks, counters)
+        cycles = m.run(max_events=20_000_000)
+        m.check_invariants()
+        for counter in counters:
+            assert m.memory.peek(counter) == N_THREADS * ITERS
+        fc = m.fault_counters() if plan else {}
+        baseline = baseline or cycles
+        print(f"{rate:>5.0%} {cycles:>9} {fc.get('msgs_dropped', 0):>8} "
+              f"{fc.get('retransmits', 0):>11} {fc.get('retries', 0):>8}")
+    print("Every run kept the counters exact; losses only cost cycles.\n")
+
+
+def demo_slice_kill():
+    print("== Killing tile 3's MSA slice at cycle 2000 ==")
+    plan = FaultPlan(seed=3, slices=(SliceFault(tile=3, at=2000, mode=KILL),))
+    params, library = machine_params("msa-omu-2", n_cores=16, seed=11)
+    # Tighten the recovery clock so detection takes thousands of cycles
+    # instead of the production default's tens of thousands.
+    params = params.with_(
+        faults=FaultParams(request_timeout=200, request_timeout_max=3200,
+                           max_retries=4)
+    )
+    m = Machine(params, library=library, fault_plan=plan)
+    locks = [m.allocator.sync_var(home=t) for t in (1, 3, 6)]
+    counters = [m.allocator.line() for _ in locks]
+    spawn_lock_workload(m, locks, counters)
+    cycles = m.run(max_events=20_000_000)
+    m.check_invariants()
+    for counter in counters:
+        assert m.memory.peek(counter) == N_THREADS * ITERS
+    fc = m.fault_counters()
+    print(f"completed in {cycles} cycles, no lost increments")
+    print(f"degraded tiles: {sorted(m.degraded_tiles())} "
+          f"(timeouts={fc['timeouts']}, degraded_fails={fc['degraded_fails']})")
+    for tile in (1, 3, 6):
+        if tile in m.degraded_tiles():
+            shown = "degraded -- post-kill ops served in software"
+        else:
+            cov = m.msa_tile_coverage(tile)
+            shown = "n/a" if cov is None else f"{cov:.0%}"
+        print(f"  tile {tile}: hardware coverage {shown}")
+    assert m.degraded_tiles() == {3}
+    print("Only the dead home degraded; its lock handed over through the\n"
+          "fault plane and finished the run in software.")
+
+
+def main():
+    demo_drop_sweep()
+    demo_slice_kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -18,9 +20,11 @@ class SimulationError(ReproError):
 class DeadlockError(SimulationError):
     """The event queue drained while threads were still blocked."""
 
-    def __init__(self, message: str, blocked: list = None):
+    def __init__(self, message: str, blocked: Optional[List] = None):
         super().__init__(message)
-        self.blocked = blocked or []
+        self.blocked: List = blocked if blocked is not None else []
+        """The still-blocked :class:`~repro.runtime.thread.SimThread`
+        objects, for post-mortem inspection by tests and the harness."""
 
 
 class ProtocolError(SimulationError):

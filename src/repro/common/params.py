@@ -173,6 +173,58 @@ class OMUParams:
 
 
 @dataclass(frozen=True)
+class FaultParams:
+    """Tuning knobs for the fault-recovery machinery.
+
+    These only take effect when a machine is built with a
+    :class:`repro.faults.FaultPlan`; without a plan the recovery layers
+    are not constructed at all and the machine behaves bit-for-bit like
+    a fault-free build.
+    """
+
+    retransmit_timeout: int = 96
+    """Reliable-transport retransmission timeout (cycles) before the
+    oldest unacknowledged message on a channel is re-injected."""
+
+    retransmit_timeout_max: int = 1536
+    """Cap for the transport's exponential retransmission backoff."""
+
+    max_retransmits: int = 24
+    """Retransmissions of one message before the transport abandons it
+    (bounds traffic into a dead endpoint; for a live channel with drop
+    probability p the odds of a false abandon are p^max_retransmits)."""
+
+    request_timeout: int = 800
+    """Cycles a sync unit waits for any sign of life (response, accept,
+    or pong) from a home slice before its first retry."""
+
+    request_timeout_max: int = 25_600
+    """Cap for the request-level exponential backoff."""
+
+    max_retries: int = 6
+    """Consecutive unanswered retries/pings after which the home tile is
+    declared dead and degraded to software synchronization."""
+
+    response_cache_size: int = 128
+    """Per-slice completed-request cache used to answer retried
+    requests idempotently (duplicate suppression)."""
+
+    def validate(self) -> None:
+        if self.retransmit_timeout < 1 or self.request_timeout < 1:
+            raise ConfigError("fault timeouts must be >= 1 cycle")
+        if self.retransmit_timeout_max < self.retransmit_timeout:
+            raise ConfigError("retransmit_timeout_max < retransmit_timeout")
+        if self.request_timeout_max < self.request_timeout:
+            raise ConfigError("request_timeout_max < request_timeout")
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+        if self.max_retransmits < 4:
+            raise ConfigError("max_retransmits must be >= 4")
+        if self.response_cache_size < 8:
+            raise ConfigError("response_cache_size must be >= 8")
+
+
+@dataclass(frozen=True)
 class MachineParams:
     """Complete description of a simulated machine."""
 
@@ -188,6 +240,9 @@ class MachineParams:
     omu: OMUParams = field(default_factory=OMUParams)
     ideal_sync: bool = False
     """Zero-latency oracle synchronization (the paper's 'Ideal')."""
+
+    faults: FaultParams = field(default_factory=FaultParams)
+    """Recovery tuning; inert unless the machine is given a FaultPlan."""
 
     seed: int = 2015
 
@@ -207,6 +262,7 @@ class MachineParams:
         if self.msa is not None:
             self.msa.validate()
         self.omu.validate()
+        self.faults.validate()
 
     @property
     def mesh_side(self) -> int:

@@ -1,0 +1,47 @@
+"""Fault injection and recovery (see docs/PROTOCOLS.md, "Fault model
+& recovery").
+
+Public surface:
+
+* :class:`FaultPlan` and its rule types -- declarative, seed-driven
+  fault scripts (NoC drop/duplicate/delay, slice kill/flaky windows,
+  issue-latency jitter);
+* :class:`FaultInjector` -- evaluates a plan against live events;
+* :class:`ReliableTransport` -- exactly-once, per-channel-ordered
+  delivery for ``msa.*``/``msa_cpu.*`` traffic over the lossy fabric;
+* :class:`FaultPlane` -- the per-home-tile degradation map and the
+  orphaned-lock recovery gate.
+
+Build a faulty machine with ``Machine(params, fault_plan=plan)`` or
+``build_machine(config, fault_plan=plan)``.  Without a plan none of
+this machinery is constructed and runs are bit-for-bit identical to a
+fault-free build.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    FLAKY_ABORT,
+    FLAKY_DROP,
+    KILL,
+    FaultPlan,
+    LatencyFault,
+    MessageFault,
+    SliceFault,
+    drop_plan,
+)
+from repro.faults.plane import FaultPlane
+from repro.faults.transport import ReliableTransport
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlane",
+    "LatencyFault",
+    "MessageFault",
+    "ReliableTransport",
+    "SliceFault",
+    "drop_plan",
+    "KILL",
+    "FLAKY_DROP",
+    "FLAKY_ABORT",
+]

@@ -1,0 +1,208 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a deterministic, seed-driven description of
+every fault a run should experience: NoC message faults (drop,
+duplicate, extra delay) matched by kind/src/dst/cycle window, MSA slice
+faults (fail-stop kills, flaky windows), and sync-unit issue-latency
+perturbations.  Plans are immutable values -- the same plan + the same
+machine seed reproduces the same fault sequence bit-for-bit.
+
+Handing a plan to :class:`repro.machine.Machine` (or
+``build_machine(..., fault_plan=...)``) arms the whole fault plane:
+the reliable NoC transport, the sync units' timeout/retry machinery,
+and the per-home-tile degradation map.  An *empty* plan injects nothing
+but still arms the recovery layers, which is useful for measuring their
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+#: Slice fault modes.
+KILL = "kill"
+"""Fail-stop: from ``at`` onward the slice ignores every message (its
+entry/OMU state is lost).  Detected by the sync units' timeout/ping
+machinery, which degrades the home tile to software synchronization."""
+
+FLAKY_DROP = "flaky_drop"
+"""The slice ignores each incoming ``msa.req`` with probability
+``prob`` during the window (as if the request died at the last hop).
+Recovered by idempotent request retries; never degrades the tile."""
+
+FLAKY_ABORT = "flaky_abort"
+"""The slice answers acquire-type requests that *miss* in its entry
+array with ABORT (probability ``prob``), exercising the library's
+ABORT fallbacks.  Requests with live entry state run normally -- an
+abort there could split an episode between hardware and software."""
+
+SLICE_MODES = (KILL, FLAKY_DROP, FLAKY_ABORT)
+
+
+def _check_window(window: Tuple[int, Optional[int]], what: str) -> None:
+    start, end = window
+    if start < 0:
+        raise ConfigError(f"{what}: window start must be >= 0")
+    if end is not None and end <= start:
+        raise ConfigError(f"{what}: window end must exceed start")
+
+
+def _check_prob(value: float, what: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{what}: probability {value} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """One NoC fault rule; the first rule matching a message applies."""
+
+    kind_prefix: str = "msa"
+    """Match messages whose kind starts with this prefix.  Recovery is
+    only guaranteed for traffic the reliable transport covers
+    (``msa.*`` / ``msa_cpu.*``); plans targeting coherence traffic are
+    rejected by :meth:`FaultPlan.validate`."""
+
+    src: Optional[int] = None
+    """Source tile filter (None = any)."""
+
+    dst: Optional[int] = None
+    """Destination tile filter (None = any)."""
+
+    window: Tuple[int, Optional[int]] = (0, None)
+    """Half-open cycle window ``[start, end)`` (None = forever)."""
+
+    drop_prob: float = 0.0
+    """Probability the message vanishes at its final hop."""
+
+    dup_prob: float = 0.0
+    """Probability a duplicate copy is delivered ``dup_delay`` cycles
+    after the original."""
+
+    dup_delay: int = 20
+
+    delay_prob: float = 0.0
+    """Probability the message is held back at injection for an extra
+    ``delay_cycles`` cycles (breaks FIFO relative to later traffic; the
+    transport's reorder buffer restores per-channel order)."""
+
+    delay_cycles: int = 50
+
+    def validate(self) -> None:
+        _check_window(self.window, "MessageFault")
+        for name in ("drop_prob", "dup_prob", "delay_prob"):
+            _check_prob(getattr(self, name), f"MessageFault.{name}")
+        if self.dup_delay < 1 or self.delay_cycles < 1:
+            raise ConfigError("MessageFault delays must be >= 1 cycle")
+        if not (
+            self.kind_prefix.startswith("msa") or self.kind_prefix.startswith("rel")
+        ):
+            raise ConfigError(
+                f"MessageFault targets {self.kind_prefix!r}: only msa/rel "
+                "traffic is covered by the recovery transport"
+            )
+
+    def matches(self, kind: str, src: int, dst: int, now: int) -> bool:
+        start, end = self.window
+        return (
+            kind.startswith(self.kind_prefix)
+            and (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and start <= now
+            and (end is None or now < end)
+        )
+
+
+@dataclass(frozen=True)
+class SliceFault:
+    """Mark one tile's MSA slice failed or flaky."""
+
+    tile: int
+    at: int
+    """Cycle the fault takes effect."""
+
+    mode: str = KILL
+    until: Optional[int] = None
+    """End of a flaky window (ignored for kills, which are permanent)."""
+
+    prob: float = 1.0
+    """Per-request fault probability in flaky modes."""
+
+    def validate(self) -> None:
+        if self.mode not in SLICE_MODES:
+            raise ConfigError(
+                f"SliceFault mode {self.mode!r}; options: {SLICE_MODES}"
+            )
+        if self.at < 0:
+            raise ConfigError("SliceFault.at must be >= 0")
+        if self.mode != KILL:
+            _check_window((self.at, self.until), "SliceFault")
+        _check_prob(self.prob, "SliceFault.prob")
+
+
+@dataclass(frozen=True)
+class LatencyFault:
+    """Perturb sync-unit request issue latency (a jittery pipeline)."""
+
+    core: Optional[int] = None
+    """Core filter (None = every core)."""
+
+    window: Tuple[int, Optional[int]] = (0, None)
+    prob: float = 1.0
+    extra_max: int = 30
+    """Uniform extra fence latency in ``[1, extra_max]`` cycles."""
+
+    def validate(self) -> None:
+        _check_window(self.window, "LatencyFault")
+        _check_prob(self.prob, "LatencyFault.prob")
+        if self.extra_max < 1:
+            raise ConfigError("LatencyFault.extra_max must be >= 1")
+
+    def matches(self, core: int, now: int) -> bool:
+        start, end = self.window
+        return (
+            (self.core is None or self.core == core)
+            and start <= now
+            and (end is None or now < end)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault script for one run."""
+
+    seed: int = 0
+    """Folded into the machine seed for the injector's RNG streams."""
+
+    messages: Tuple[MessageFault, ...] = ()
+    slices: Tuple[SliceFault, ...] = ()
+    latencies: Tuple[LatencyFault, ...] = ()
+
+    def validate(self, n_tiles: Optional[int] = None) -> None:
+        for rule in self.messages:
+            rule.validate()
+        for rule in self.slices:
+            rule.validate()
+            if n_tiles is not None and not 0 <= rule.tile < n_tiles:
+                raise ConfigError(
+                    f"SliceFault.tile {rule.tile} out of range for "
+                    f"{n_tiles} tiles"
+                )
+        for rule in self.latencies:
+            rule.validate()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.messages or self.slices or self.latencies)
+
+
+def drop_plan(
+    prob: float, kind_prefix: str = "msa", seed: int = 0
+) -> FaultPlan:
+    """Convenience: a plan dropping ``prob`` of matching messages."""
+    return FaultPlan(
+        seed=seed,
+        messages=(MessageFault(kind_prefix=kind_prefix, drop_prob=prob),),
+    )

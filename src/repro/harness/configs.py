@@ -93,7 +93,13 @@ def machine_params(config: str, n_cores: int = 16, seed: int = 2015) -> Tuple[Ma
     raise ConfigError(f"unknown configuration {config!r}; see CONFIG_NAMES")
 
 
-def build_machine(config: str, n_cores: int = 16, seed: int = 2015) -> Machine:
-    """Build a ready-to-use machine for a named configuration."""
+def build_machine(
+    config: str, n_cores: int = 16, seed: int = 2015, fault_plan=None
+) -> Machine:
+    """Build a ready-to-use machine for a named configuration.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) arms the fault
+    injector, reliable transport, and degradation plane; it requires an
+    MSA-bearing configuration."""
     params, library = machine_params(config, n_cores=n_cores, seed=seed)
-    return Machine(params, library=library)
+    return Machine(params, library=library, fault_plan=fault_plan)

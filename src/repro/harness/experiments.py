@@ -290,6 +290,80 @@ def fig9(
 
 
 # ---------------------------------------------------------------------------
+# Chaos resilience: lock/barrier workloads under NoC message loss
+# ---------------------------------------------------------------------------
+def chaos(
+    n_cores: int = 16,
+    drop_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
+    apps: Sequence[str] = ("streamcluster", "fluidanimate"),
+    scale: float = 0.5,
+    config: str = "msa-omu-2",
+    print_out: bool = True,
+) -> Dict:
+    """Sweep NoC drop probability over sync-heavy kernels and report the
+    cost of recovery: completion, slowdown over the fault-free run,
+    coverage, and the retry/retransmission work the fault plane did.
+    Every run must complete correctly -- the workloads' own validation
+    hooks run at each point."""
+    from repro.faults import drop_plan
+
+    results: Dict = {}
+    for app in apps:
+        factory = KERNELS[app]
+        for rate in drop_rates:
+            plan = drop_plan(rate, seed=1) if rate else None
+            machine = build_machine(config, n_cores=n_cores, fault_plan=plan)
+            run = run_workload(machine, factory(n_cores, scale), config=config)
+            fc = machine.fault_counters() if plan is not None else {}
+            results[(app, rate)] = {
+                "cycles": run.cycles,
+                "coverage": run.msa_coverage,
+                "msgs_dropped": fc.get("msgs_dropped", 0),
+                "retransmits": fc.get("retransmits", 0),
+                "retries": fc.get("retries", 0),
+                "timeouts": fc.get("timeouts", 0),
+                "degraded_tiles": fc.get("degraded_tiles", 0),
+            }
+    if print_out:
+        for app in apps:
+            base = results[(app, drop_rates[0])]["cycles"]
+            rows = []
+            for rate in drop_rates:
+                r = results[(app, rate)]
+                cov = r["coverage"]
+                rows.append(
+                    [
+                        f"{100 * rate:.0f}%",
+                        f"{r['cycles']:,}",
+                        f"{r['cycles'] / base:.2f}x",
+                        f"{100 * cov:.1f}%" if cov is not None else "-",
+                        str(r["msgs_dropped"]),
+                        str(r["retransmits"]),
+                        str(r["retries"]),
+                        str(r["timeouts"]),
+                    ]
+                )
+            print(
+                render_table(
+                    [
+                        "drop",
+                        "cycles",
+                        "slowdown",
+                        "coverage",
+                        "dropped",
+                        "retransmits",
+                        "retries",
+                        "timeouts",
+                    ],
+                    rows,
+                    title=f"\nChaos resilience - {app} on {config}, "
+                    f"{n_cores} cores",
+                )
+            )
+    return results
+
+
+# ---------------------------------------------------------------------------
 # Headline numbers (abstract / section 6 summary)
 # ---------------------------------------------------------------------------
 def headline(n_cores: int = 64, scale: float = 1.0, print_out: bool = True) -> Dict:
@@ -336,6 +410,7 @@ EXPERIMENTS = {
     "fig8": lambda args: fig8(cores=args.cores, scale=args.scale),
     "fig9": lambda args: fig9(n_cores=max(args.cores), scale=args.scale),
     "headline": lambda args: headline(n_cores=max(args.cores), scale=args.scale),
+    "chaos": lambda args: chaos(n_cores=min(args.cores), scale=args.scale),
 }
 
 

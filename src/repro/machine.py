@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 from repro.common.errors import ConfigError
 from repro.common.params import MachineParams
 from repro.common.stats import merge_counters
+from repro.faults import FaultInjector, FaultPlane, ReliableTransport
 from repro.mem.address import AddressAllocator
 from repro.mem.memsys import MemoryFabric, MemorySystem
 from repro.msa.ideal import IdealSyncOracle
@@ -30,7 +31,9 @@ from repro.sim.rng import DeterministicRng
 class Machine:
     """A fully wired simulated tiled many-core."""
 
-    def __init__(self, params: MachineParams, library: str = "hybrid"):
+    def __init__(
+        self, params: MachineParams, library: str = "hybrid", fault_plan=None
+    ):
         params.validate()
         self.params = params
         self.library_name = library
@@ -40,6 +43,28 @@ class Machine:
         self.tracer = Tracer(self.sim)
         self.rng = DeterministicRng(params.seed, "machine")
         self.network = Network(self.sim, params.n_cores, params.noc)
+
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = None
+        self.fault_plane: Optional[FaultPlane] = None
+        self.transport: Optional[ReliableTransport] = None
+        if fault_plan is not None:
+            if params.ideal_sync or params.msa is None:
+                raise ConfigError(
+                    "fault plans target the MSA message protocol; build "
+                    "the machine with an MSA (not ideal_sync/software-only)"
+                )
+            fault_plan.validate(n_tiles=params.n_cores)
+            self.fault_injector = FaultInjector(
+                self.sim, fault_plan, params.seed, self.tracer
+            )
+            self.fault_plane = FaultPlane(self.sim, self.tracer)
+            self.transport = ReliableTransport(
+                self.sim, self.network, params.faults, self.tracer
+            )
+            self.network.injector = self.fault_injector
+            self.network.transport = self.transport
+
         self.memory = MemoryFabric(self.sim, self.network, params)
         self.allocator = AddressAllocator(self.memory.amap)
         self.futex = FutexService(self.sim)
@@ -84,6 +109,21 @@ class Machine:
             )
             for core in range(params.n_cores)
         ]
+        if self.fault_plane is not None:
+            for sl in self.msa_slices:
+                sl.arm_faults(self.fault_injector, self.fault_plane, params.faults)
+            for unit in self.sync_units:
+                unit.arm_faults(
+                    self.fault_plane,
+                    self.fault_injector,
+                    params.faults,
+                    self.tracer,
+                )
+            self.fault_plane.attach(self.sync_units, self.transport)
+            for fault in self.fault_injector.kill_schedule():
+                self.sim.schedule(
+                    fault.at, lambda t=fault.tile: self.msa_slices[t].kill()
+                )
         self.scheduler = Scheduler(self)
         self.sync_library = make_library(library, self)
         if library == "hybrid" and mode not in (
@@ -118,6 +158,8 @@ class Machine:
     def check_invariants(self) -> None:
         self.memory.check_invariants()
         for msa in self.msa_slices:
+            if msa.dead:
+                continue  # Fail-stop: its state is gone, not invariant.
             msa.check_invariants()
 
     # ------------------------------------------------------------------
@@ -141,4 +183,39 @@ class Machine:
         return hw / total if total else None
 
     def omu_totals(self) -> int:
-        return sum(s.omu.total for s in self.msa_slices)
+        return sum(s.omu.total for s in self.msa_slices if not s.dead)
+
+    # ------------------------------------------------------------------
+    # Fault-plane introspection
+    # ------------------------------------------------------------------
+    def degraded_tiles(self) -> set:
+        """Home tiles permanently routed to software by the fault plane."""
+        if self.fault_plane is None:
+            return set()
+        return set(self.fault_plane.degraded)
+
+    def msa_tile_coverage(self, tile: int) -> Optional[float]:
+        """Hardware-coverage fraction for ops *homed* at one tile."""
+        if not self.msa_slices:
+            return None
+        stats = self.msa_slices[tile].stats
+        hw = stats.counter("ops_hw").value
+        sw = stats.counter("ops_sw").value + stats.counter("ops_aborted").value
+        total = hw + sw
+        return hw / total if total else None
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Merged injector + transport + plane + recovery counters."""
+        sets = []
+        if self.fault_injector is not None:
+            sets.append(self.fault_injector.stats)
+        if self.transport is not None:
+            sets.append(self.transport.stats)
+        if self.fault_plane is not None:
+            sets.append(self.fault_plane.stats)
+        merged = merge_counters(sets)
+        for name in ("retries", "pings", "timeouts", "degraded_fails"):
+            merged[name] = sum(
+                u.stats.counter(name).value for u in self.sync_units
+            )
+        return merged

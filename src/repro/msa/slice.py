@@ -26,6 +26,7 @@ software fallback).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional
 
 from repro.common.errors import ProtocolError
@@ -72,7 +73,35 @@ class MSASlice:
         """Next-bit-to-check register: one per slice (not per entry),
         round-robin start position for waiter selection (section 4.1)."""
 
+        self.dead = False
+        """Fail-stop flag: a killed slice ignores every message."""
+
+        # Fault machinery; inert until arm_faults() (fault-plan builds).
+        self._injector = None
+        self._plane = None
+        self._fault_params = None
+        self._inflight: set = set()
+        """Accepted-but-unanswered req_ids: duplicates (core retries
+        racing the original) are dropped, keeping retries idempotent.
+        Requests answered remotely on our behalf (condvar wakeups
+        complete at the *lock* home) stay in the set, which is exactly
+        right -- a retry must not re-enqueue the waiter."""
+
+        self._resp_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        """req_id -> response args for completed requests; a retry of a
+        finished request replays the cached response instead of
+        re-executing (exactly-once semantics at the protocol level)."""
+
         network.register(tile, "msa", self._on_message)
+
+    def arm_faults(self, injector, plane, fault_params) -> None:
+        """Enable the fault plane's slice-side machinery: accept/pong
+        keepalives, duplicate suppression, and flaky-window verdicts."""
+        self._injector = injector
+        self._plane = plane
+        self._fault_params = fault_params
+        for name in ("dup_suppressed", "resp_replayed", "pongs_sent"):
+            self.stats.counter(name)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -101,23 +130,136 @@ class MSASlice:
             self.stats.counter("ops_sw").inc()
         else:
             self.stats.counter("ops_aborted").inc()
+        if self._injector is not None:
+            self._inflight.discard(req_id)
+            self._resp_cache[req_id] = (core, result, addr, grant_hwsync, rearm)
+            while len(self._resp_cache) > self._fault_params.response_cache_size:
+                self._resp_cache.popitem(last=False)
         self.sim.schedule(
             self.params.msa_access_latency,
-            lambda: self.network.send(
-                Message(
-                    src=self.tile,
-                    dst=self._core_of(core),
-                    kind="msa_cpu.resp",
-                    payload={
-                        "result": result,
-                        "req_id": req_id,
-                        "addr": addr,
-                        "grant_hwsync": grant_hwsync,
-                        "rearm": rearm,
-                    },
-                )
+            lambda: self._send_response(
+                core, req_id, result, addr, grant_hwsync, rearm
             ),
         )
+
+    def _send_response(
+        self,
+        core: CoreId,
+        req_id: int,
+        result: SyncResult,
+        addr: Address,
+        grant_hwsync: bool,
+        rearm: bool,
+    ) -> None:
+        self.network.send(
+            Message(
+                src=self.tile,
+                dst=self._core_of(core),
+                kind="msa_cpu.resp",
+                payload={
+                    "result": result,
+                    "req_id": req_id,
+                    "addr": addr,
+                    "grant_hwsync": grant_hwsync,
+                    "rearm": rearm,
+                },
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-plane machinery (slice side)
+    # ------------------------------------------------------------------
+    def _admit_request(self, p: dict) -> bool:
+        """Gatekeeper for ``msa.req`` under a fault plan: deduplicate
+        retries, apply flaky-window verdicts, and acknowledge delivery
+        (``msa_cpu.accept``) so the requesting unit stops re-sending."""
+        req_id = p["req_id"]
+        if req_id in self._resp_cache:
+            # Retry of an already-answered request: replay the cached
+            # response verbatim instead of re-executing the operation.
+            self.stats["resp_replayed"].inc()
+            self._trace("resp_replayed", f"req={req_id}")
+            self.sim.schedule(
+                self.params.msa_access_latency,
+                lambda: self._send_response(*self._expand_cached(req_id)),
+            )
+            return False
+        if req_id in self._inflight:
+            self.stats["dup_suppressed"].inc()
+            return False
+        verdict = self._injector.flaky_verdict(
+            self.tile, entry_hit=p["addr"] in self.entries
+        )
+        if verdict == "drop":
+            # As if the request died on the last hop: no accept, no
+            # state change; the requester's retry recovers.
+            return False
+        self._inflight.add(req_id)
+        self.network.send(
+            Message(
+                src=self.tile,
+                dst=self._core_of(p["core"]),
+                kind="msa_cpu.accept",
+                payload={"req_id": req_id},
+            )
+        )
+        op = SyncOp(p["op"])
+        if verdict == "abort" and op in (
+            SyncOp.LOCK,
+            SyncOp.TRYLOCK,
+            SyncOp.BARRIER,
+        ):
+            # Flaky ABORT is only safe for acquire-type requests that
+            # *missed* in the entry array (the injector guarantees the
+            # miss): charging the OMU steers the rest of the episode to
+            # software, so it cannot split across hardware and software.
+            # COND_WAIT is exempt -- its ABORT contract assumes the
+            # associated lock was already released by the MSA.
+            self._omu_increment(p["addr"])
+            self._respond(p["core"], req_id, SyncResult.ABORT, p["addr"])
+            return False
+        return True
+
+    def _expand_cached(self, req_id: int) -> tuple:
+        core, result, addr, grant_hwsync, rearm = self._resp_cache[req_id]
+        return core, req_id, result, addr, grant_hwsync, rearm
+
+    def kill(self) -> None:
+        """Fail-stop this slice at the current cycle.
+
+        All entry, OMU, and fairness state is lost and every subsequent
+        message is ignored; waiting sync units detect the silence via
+        their timeout/ping escalation and degrade this home tile to
+        software synchronization.  The one *dying gasp* the model grants
+        is for condition-variable waiters parked in our entries: their
+        wake-ups exist nowhere else, so they are aborted now (the
+        runtime treats that as a spurious wakeup and re-acquires), and
+        reservation-queued requests are failed into the software path.
+        Lock and barrier waiters need no gasp -- their recovery is fully
+        driven by the requester-side timeout machinery."""
+        if self.dead:
+            return
+        self.dead = True
+        self.stats.counter("killed").inc()
+        self._trace("killed")
+        for entry in list(self.entries.values()):
+            if entry.sync_type is not SyncType.CONDVAR:
+                continue
+            # Parked waiters released their lock (UNLOCK&PIN or
+            # unlock-on-behalf): ABORT = spurious wakeup, re-acquire.
+            for wcore, wreq in list(entry.waiters.items()):
+                self._respond(wcore, wreq, SyncResult.ABORT, entry.addr)
+            entry.waiters.clear()
+            # Reservation-queued requests still hold their lock; FAIL
+            # routes them to software, which releases it properly.
+            for item in entry.reserve_queue:
+                if item[0] == "cond_wait":
+                    _, cond_addr, _lock_addr, core, req_id = item
+                    self._respond(core, req_id, SyncResult.FAIL, cond_addr)
+                else:
+                    _, cond_addr, core, req_id, _bcast = item
+                    self._respond(core, req_id, SyncResult.FAIL, cond_addr)
+            entry.reserve_queue.clear()
 
     def _send_slice(self, dst: TileId, kind: str, **payload) -> None:
         self.sim.schedule(
@@ -243,8 +385,26 @@ class MSASlice:
     # Message dispatch
     # ------------------------------------------------------------------
     def _on_message(self, msg: Message) -> None:
+        if self.dead:
+            return
         kind = msg.kind
         p = msg.payload
+        if self._injector is not None:
+            if kind == "msa.ping":
+                # Liveness probe from a waiting sync unit: any answer
+                # (regardless of request state) resets its escalation.
+                self.stats["pongs_sent"].inc()
+                self.network.send(
+                    Message(
+                        src=self.tile,
+                        dst=msg.src,
+                        kind="msa_cpu.pong",
+                        payload={"req_id": p["req_id"]},
+                    )
+                )
+                return
+            if kind == "msa.req" and not self._admit_request(p):
+                return
         if kind == "msa.req":
             self._handle_request(
                 SyncOp(p["op"]), p["addr"], p["aux"], p["core"], p["req_id"]
@@ -588,6 +748,16 @@ class MSASlice:
     def _handle_cond_wait(
         self, cond_addr: Address, lock_addr: Address, core: CoreId, req_id: int
     ) -> None:
+        if self._plane is not None and self._plane.is_degraded(
+            self.home_of(lock_addr)
+        ):
+            # The mutex's home tile is degraded: the pin/wake protocol
+            # cannot run (the lock will never be hardware-managed
+            # again), so fail to software *here*, at the condvar home,
+            # which balances this OMU charge with the runtime's FINISH.
+            self._omu_increment(cond_addr)
+            self._respond(core, req_id, SyncResult.FAIL, cond_addr)
+            return
         entry = self._typed_entry(cond_addr, SyncType.CONDVAR)
         if entry is not None and entry.reserved:
             entry.reserve_queue.append(

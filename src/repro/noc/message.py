@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.common.types import TileId
 
@@ -27,6 +27,10 @@ class Message:
     payload: Dict[str, Any] = field(default_factory=dict)
     injected_at: int = -1
     """Cycle the message entered the network (set by the Network)."""
+
+    rel_seq: Optional[int] = None
+    """Reliable-transport channel sequence number; ``None`` for traffic
+    outside the transport (coherence, acks, fault-free machines)."""
 
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 

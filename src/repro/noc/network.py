@@ -32,6 +32,15 @@ class Network:
         self.fabric = LinkFabric(sim, self.params, self.stats)
         self._handlers: Dict[Tuple[TileId, str], Handler] = {}
         self._route_cache: Dict[Tuple[TileId, TileId], Tuple] = {}
+        self.injector = None
+        """Optional :class:`repro.faults.FaultInjector` consulted at
+        injection (extra delay) and final-hop delivery (drop/duplicate).
+        ``None`` on fault-free machines: the hot path then matches the
+        original network bit-for-bit."""
+
+        self.transport = None
+        """Optional :class:`repro.faults.ReliableTransport` carrying
+        ``msa.*``/``msa_cpu.*`` traffic exactly-once and in order."""
 
     def register(self, tile: TileId, prefix: str, handler: Handler) -> None:
         """Register the receiver for messages whose kind starts with
@@ -43,12 +52,23 @@ class Network:
 
     def send(self, message: Message) -> None:
         """Inject a message; it will be delivered to the destination
-        tile's handler after routing latency + contention."""
+        tile's handler after routing latency + contention.  Accelerator
+        traffic detours through the reliable transport when a fault
+        plan armed one."""
+        if self.transport is not None and self.transport.covers(message.kind):
+            self.transport.send(message)
+            return
+        self.inject(message)
+
+    def inject(self, message: Message) -> None:
+        """Put a message on the wire (no reliability layering; the
+        transport's own sends and retransmissions come through here)."""
         message.injected_at = self.sim.now
         self.stats.counter("messages_sent").inc()
         self.stats.counter(f"sent.{message.kind.split('.')[0]}").inc()
         hops = self._hops(message.src, message.dst)
-        self.fabric.traverse(hops, lambda: self._deliver(message))
+        extra = 0 if self.injector is None else self.injector.send_delay(message)
+        self.fabric.traverse(hops, lambda: self._deliver(message), extra)
 
     def _hops(self, src: TileId, dst: TileId) -> Tuple:
         key = (src, dst)
@@ -59,6 +79,24 @@ class Network:
         return cached
 
     def _deliver(self, message: Message) -> None:
+        """Final-hop arrival: apply delivery faults, then hand covered
+        traffic to the transport for ordering/deduplication."""
+        if self.injector is not None:
+            deliver, dup_after = self.injector.deliver_verdict(message)
+            if dup_after is not None:
+                # The duplicate skips the verdict (no fractal re-rolls).
+                self.sim.schedule(dup_after, lambda: self._arrive(message))
+            if not deliver:
+                return
+        self._arrive(message)
+
+    def _arrive(self, message: Message) -> None:
+        if self.transport is not None and message.rel_seq is not None:
+            self.transport.receive(message, self._dispatch)
+        else:
+            self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> None:
         prefix = message.kind.split(".", 1)[0]
         handler = self._handlers.get((message.dst, prefix))
         if handler is None:

@@ -72,12 +72,15 @@ class LinkFabric:
         self,
         hops: Tuple[Tuple[TileId, TileId], ...],
         deliver: Callable[[], None],
+        extra_delay: int = 0,
     ) -> None:
         """Send a message across ``hops`` (directed links, in order).
 
         Local delivery (no hops) still pays the injection latency.
+        ``extra_delay`` models a fault-injected stall at the NIC before
+        the message enters the fabric.
         """
-        delay = self.params.injection_latency
+        delay = self.params.injection_latency + extra_delay
         if not hops:
             self.sim.schedule(delay, deliver)
             return

@@ -142,11 +142,27 @@ class Scheduler:
 
     def check_for_deadlock(self) -> None:
         """Called when the event queue drains: any unfinished thread is
-        deadlocked (blocked on a future nothing will complete)."""
+        deadlocked (blocked on a future nothing will complete).  The
+        error message describes *what* each thread is blocked on, which
+        is usually enough to tell a lost wakeup from a suspension that
+        was never resumed."""
         stuck = [t for t in self.threads if not t.finished]
-        if stuck:
-            raise DeadlockError(
-                f"{len(stuck)} thread(s) never finished: "
-                + ", ".join(t.name for t in stuck[:8]),
-                blocked=stuck,
-            )
+        if not stuck:
+            return
+        details = []
+        for thread in stuck[:8]:
+            proc = self._procs.get(thread.tid)
+            waiting = proc.blocked_on if proc is not None else None
+            if thread.suspended:
+                state = "suspended, never resumed"
+            elif waiting is None:
+                state = "not blocked on any future (starved?)"
+            elif waiting.done:
+                state = "blocked on an already-completed future (lost step?)"
+            else:
+                state = "blocked on an incomplete future (lost wakeup)"
+            details.append(f"{thread.name}@core{thread.core}: {state}")
+        raise DeadlockError(
+            f"{len(stuck)} thread(s) never finished: " + "; ".join(details),
+            blocked=stuck,
+        )

@@ -90,16 +90,38 @@ class HybridLibrary(SyncLibrary):
         # sw_cond_wait must use *these* hybrid lock functions internally
         # (section 4.3.3), not the fallback's raw lock.
         self._condvar = condvar_impl
+        self.plane = None
+        """Optional :class:`repro.faults.FaultPlane`: when a home tile
+        is degraded mid-run, locks that died hardware-owned must not be
+        software-acquired until the orphaned owner's UNLOCK transfers
+        the release through the plane (the lock word in memory was
+        never written by the hardware episode)."""
+
+    def _recovery_gate(self, th, addr: Address) -> Generator:
+        """Block until no orphaned hardware owner holds ``addr``."""
+        if self.plane is None:
+            return
+        while True:
+            gate = self.plane.gate_future(addr)
+            if gate is None:
+                return
+            th.stats.counter("gate_waits").inc()
+            yield gate
 
     # -- Algorithm 1 ----------------------------------------------------
     def lock(self, th, addr: Address) -> Generator:
         result = yield from th.sync(SyncOp.LOCK, addr)
         if result in (SyncResult.FAIL, SyncResult.ABORT):
+            yield from self._recovery_gate(th, addr)
             yield from self.fallback.lock(th, addr)
 
     def unlock(self, th, addr: Address) -> Generator:
         result = yield from th.sync(SyncOp.UNLOCK, addr)
         if result is SyncResult.FAIL:
+            if self.plane is not None and self.plane.transfer_release(addr):
+                # We held the lock in (now-dead) hardware; the release
+                # completes through the plane, not the lock word.
+                return
             yield from self.fallback.unlock(th, addr)
 
     def trylock(self, th, addr: Address) -> Generator:
@@ -111,9 +133,15 @@ class HybridLibrary(SyncLibrary):
             return True
         if result is SyncResult.BUSY:
             return False
-        # FAIL: software trylock (one CAS attempt).  The failed-FAIL
-        # case must notify the OMU (no UNLOCK will follow), mirroring
-        # how FINISH balances barrier/condvar fallbacks.
+        if self.plane is not None and self.plane.recovery_held(addr):
+            # Orphaned hardware owner: busy, and the lock word is not
+            # authoritative -- do not even attempt the CAS.
+            yield from th.sync(SyncOp.FINISH, addr)
+            return False
+        # FAIL (or flaky-window ABORT): software trylock (one CAS
+        # attempt).  The failed-FAIL case must notify the OMU (no
+        # UNLOCK will follow), mirroring how FINISH balances
+        # barrier/condvar fallbacks.
         old = yield from th.compare_and_swap(addr, 0, 1)
         if old == 0:
             return True
@@ -244,5 +272,7 @@ def make_library(name: str, machine) -> SyncLibrary:
         fallback = SoftwareLibrary(
             "pthread", FutexMutex(futex), FutexBarrier(futex), FutexCondVar(futex)
         )
-        return HybridLibrary(fallback, FutexCondVar(futex))
+        lib = HybridLibrary(fallback, FutexCondVar(futex))
+        lib.plane = getattr(machine, "fault_plane", None)
+        return lib
     raise ConfigError(f"unknown sync library {name!r}; options: {LIBRARY_NAMES}")

@@ -124,6 +124,7 @@ class Process:
             self.finished = True
             self.result = stop.value
             self.on_exit.complete(stop.value)
+            self.sim._release(self)
             return
         self._dispatch(yielded)
 
@@ -177,8 +178,10 @@ class Simulator:
         """Drain the event heap.
 
         Returns the final simulation time.  ``until`` bounds the clock;
-        ``max_events`` bounds work (guards against livelock in tests).
+        ``max_events`` bounds work (guards against livelock in tests) and
+        applies per invocation, not cumulatively across ``run()`` calls.
         """
+        events_this_run = 0
         while self._heap:
             when, _seq, callback = self._heap[0]
             if until is not None and when > until:
@@ -187,7 +190,8 @@ class Simulator:
             heapq.heappop(self._heap)
             self.now = when
             self._events_processed += 1
-            if max_events is not None and self._events_processed > max_events:
+            events_this_run += 1
+            if max_events is not None and events_this_run > max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at cycle {self.now}"
                 )
@@ -201,6 +205,13 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return len(self._heap)
+
+    def _release(self, proc: Process) -> None:
+        """Drop a finished process so long runs don't accumulate them."""
+        try:
+            self._processes.remove(proc)
+        except ValueError:
+            pass
 
     def unfinished_processes(self) -> List[Process]:
         return [p for p in self._processes if not p.finished]

@@ -12,7 +12,10 @@ one attribute check per call site); enable categories selectively::
 
 Categories used by the built-in components: ``msa`` (slice decisions),
 ``omu`` (counter changes), ``sched`` (suspend/resume/migrate),
-``sync`` (core-side instruction issue/complete).
+``sync`` (core-side instruction issue/complete), ``fault`` (injected
+drops/duplications/delays, transport retransmissions), ``retry``
+(sync-unit timeout/retry/ping escalation), and ``degrade`` (home tiles
+declared dead, orphan-lock recovery).
 """
 
 from __future__ import annotations

@@ -1,0 +1,307 @@
+"""Fault-injection plane: plan validation, the reliable transport, the
+determinism guarantee (no plan => bit-for-bit the fault-free machine),
+and graceful degradation when an MSA slice is killed mid-run.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError, DeadlockError
+from repro.common.params import FaultParams
+from repro.faults import (
+    FLAKY_ABORT,
+    KILL,
+    FaultPlan,
+    LatencyFault,
+    MessageFault,
+    SliceFault,
+    drop_plan,
+)
+from repro.harness.configs import build_machine, machine_params
+from repro.machine import Machine
+
+#: Tight recovery clock for kill tests: detection in a few thousand
+#: cycles instead of the production default's tens of thousands.
+FAST_RECOVERY = FaultParams(
+    request_timeout=200, request_timeout_max=3200, max_retries=4
+)
+
+
+# ---------------------------------------------------------------------------
+# Plan validation
+# ---------------------------------------------------------------------------
+def test_plan_rejects_noncovered_prefix():
+    with pytest.raises(ConfigError):
+        FaultPlan(messages=(MessageFault(kind_prefix="coh"),)).validate()
+
+
+def test_plan_rejects_bad_probability():
+    with pytest.raises(ConfigError):
+        FaultPlan(messages=(MessageFault(drop_prob=1.5),)).validate()
+
+
+def test_plan_rejects_bad_window():
+    with pytest.raises(ConfigError):
+        FaultPlan(messages=(MessageFault(window=(100, 50)),)).validate()
+
+
+def test_plan_rejects_out_of_range_tile():
+    plan = FaultPlan(slices=(SliceFault(tile=99, at=0),))
+    with pytest.raises(ConfigError):
+        plan.validate(n_tiles=16)
+
+
+def test_plan_rejects_unknown_slice_mode():
+    with pytest.raises(ConfigError):
+        SliceFault(tile=0, at=0, mode="melt").validate()
+
+
+def test_plan_rejects_bad_latency_fault():
+    with pytest.raises(ConfigError):
+        LatencyFault(extra_max=0).validate()
+
+
+def test_fault_params_validation():
+    with pytest.raises(ConfigError):
+        FaultParams(request_timeout=0).validate()
+    with pytest.raises(ConfigError):
+        FaultParams(max_retries=0).validate()
+
+
+def test_fault_plan_requires_msa():
+    for config in ("pthread", "ideal", "msa0"):
+        with pytest.raises(ConfigError):
+            build_machine(config, fault_plan=drop_plan(0.1))
+
+
+# ---------------------------------------------------------------------------
+# Determinism: the fault machinery must be invisible when unarmed
+# ---------------------------------------------------------------------------
+def _lock_run(fault_plan, seed=17):
+    m = build_machine("msa-omu-2", n_cores=16, seed=seed, fault_plan=fault_plan)
+    lock = m.allocator.sync_var()
+    counter = m.allocator.line()
+
+    def body(th):
+        for _ in range(8):
+            yield from th.lock(lock)
+            value = yield from th.load(counter)
+            yield from th.compute(7)
+            yield from th.store(counter, value + 1)
+            yield from th.unlock(lock)
+
+    for _ in range(6):
+        m.scheduler.spawn(body)
+    cycles = m.run()
+    return m, cycles
+
+
+def test_no_plan_is_bitwise_identical():
+    """A machine built without a plan and one built with fault_plan=None
+    must agree on every cycle count and every counter."""
+    m_plain, c_plain = _lock_run(None)
+    m_again, c_again = _lock_run(None)
+    assert c_plain == c_again
+    assert m_plain.msa_counters() == m_again.msa_counters()
+    assert m_plain.sync_unit_counters() == m_again.sync_unit_counters()
+    assert (
+        m_plain.network.stats.counters == m_again.network.stats.counters
+    )
+    assert m_plain.fault_injector is None
+    assert m_plain.network.transport is None
+
+
+def test_same_plan_same_seed_reproduces():
+    """The same plan + machine seed reproduces the fault sequence and
+    therefore the entire run, bit for bit."""
+    m1, c1 = _lock_run(drop_plan(0.1, seed=5))
+    m2, c2 = _lock_run(drop_plan(0.1, seed=5))
+    assert c1 == c2
+    assert m1.fault_counters() == m2.fault_counters()
+    assert m1.msa_counters() == m2.msa_counters()
+
+
+def test_empty_plan_arms_but_injects_nothing():
+    m, _ = _lock_run(FaultPlan())
+    counters = m.fault_counters()
+    assert counters["msgs_dropped"] == 0
+    assert counters["retransmits"] == 0
+    assert counters["timeouts"] == 0
+    assert m.transport is not None  # recovery layers armed
+
+
+# ---------------------------------------------------------------------------
+# Reliable transport behaviour
+# ---------------------------------------------------------------------------
+def test_duplicates_are_suppressed():
+    plan = FaultPlan(
+        seed=2, messages=(MessageFault(dup_prob=0.5, dup_delay=7),)
+    )
+    m, _ = _lock_run(plan)
+    counters = m.fault_counters()
+    assert counters["msgs_duplicated"] > 0
+    assert counters["dup_suppressed"] > 0
+    assert m.omu_totals() == 0
+
+
+def test_delays_are_reordered_back():
+    plan = FaultPlan(
+        seed=3,
+        messages=(MessageFault(delay_prob=0.4, delay_cycles=90),),
+    )
+    m, _ = _lock_run(plan)
+    counters = m.fault_counters()
+    assert counters["msgs_delayed"] > 0
+    assert m.omu_totals() == 0
+
+
+def test_latency_fault_perturbs_issue():
+    plan = FaultPlan(seed=8, latencies=(LatencyFault(extra_max=25),))
+    m, cycles = _lock_run(plan)
+    _, base_cycles = _lock_run(FaultPlan(seed=8))
+    assert m.fault_counters()["latency_perturbed"] > 0
+    assert cycles > base_cycles
+
+
+def test_flaky_abort_exercises_abort_fallback():
+    """Flaky ABORT fires only on entry-array *misses* (prob=1 makes
+    every acquire miss permanently), exercising the library's ABORT
+    fallback paths while the OMU stays balanced."""
+    plan = FaultPlan(
+        seed=6,
+        slices=tuple(
+            SliceFault(tile=t, at=0, mode=FLAKY_ABORT, prob=1.0)
+            for t in range(16)
+        ),
+    )
+    m, _ = _lock_run(plan)
+    counters = m.fault_counters()
+    assert counters["flaky_aborts"] > 0
+    assert m.omu_totals() == 0
+    assert m.msa_coverage() == 0.0  # everything fell back to software
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation on a slice kill
+# ---------------------------------------------------------------------------
+def _build_fast_recovery(seed, plan):
+    params, library = machine_params("msa-omu-2", n_cores=16, seed=seed)
+    params = params.with_(faults=FAST_RECOVERY)
+    return Machine(params, library=library, fault_plan=plan)
+
+
+def test_killed_slice_degrades_only_home_tile():
+    """Killing one slice mid-run must (a) terminate without deadlock,
+    (b) degrade exactly that home tile, (c) leave other tiles' hardware
+    coverage intact, and (d) lose no lock-protected increments."""
+    plan = FaultPlan(seed=5, slices=(SliceFault(tile=3, at=2000, mode=KILL),))
+    m = _build_fast_recovery(11, plan)
+    lib = m.sync_library
+    locks = [m.allocator.sync_var(home=t) for t in (1, 3, 6)]
+    counters = [m.allocator.line() for _ in locks]
+    bar = m.allocator.sync_var(home=5)
+    n_threads, iters = 8, 10
+
+    def body(th):
+        for _ in range(iters):
+            for lk, ctr in zip(locks, counters):
+                yield from lib.lock(th, lk)
+                value = yield from th.load(ctr)
+                yield from th.store(ctr, value + 1)
+                yield from lib.unlock(th, lk)
+            yield from lib.barrier(th, bar, n_threads)
+
+    for _ in range(n_threads):
+        m.scheduler.spawn(body)
+    m.run(max_events=20_000_000)  # raises DeadlockError on lost wakeups
+    m.check_invariants()
+
+    assert m.degraded_tiles() == {3}
+    fc = m.fault_counters()
+    assert fc["timeouts"] > 0
+    assert fc["degraded_tiles"] == 1
+    # No lost increments on any lock, including the one homed at the
+    # dead tile (its orphaned episode hands over through the plane).
+    for ctr in counters:
+        assert m.memory.peek(ctr) == n_threads * iters
+    # The surviving tiles kept servicing sync ops in hardware.
+    for tile in (1, 5, 6):
+        assert m.msa_slices[tile].stats.counter("ops_hw").value > 0
+    # Post-kill, the degraded tile's ops complete locally in software.
+    degraded_local = sum(
+        u.stats.counter("degraded_local").value for u in m.sync_units
+    )
+    assert degraded_local > 0
+
+
+def test_killed_slice_with_waiting_threads_recovers():
+    """Threads already blocked on the dead slice's lock (request in the
+    HWQueue when it dies) must be failed over, not stranded."""
+    plan = FaultPlan(seed=1, slices=(SliceFault(tile=0, at=1500, mode=KILL),))
+    m = _build_fast_recovery(23, plan)
+    lock = m.allocator.sync_var(home=0)
+    counter = m.allocator.line()
+    n_threads, iters = 6, 8
+
+    def body(th):
+        for _ in range(iters):
+            yield from th.lock(lock)
+            value = yield from th.load(counter)
+            yield from th.compute(120)  # long critical section: queue forms
+            yield from th.store(counter, value + 1)
+            yield from th.unlock(lock)
+
+    for _ in range(n_threads):
+        m.scheduler.spawn(body)
+    m.run(max_events=20_000_000)
+    assert m.degraded_tiles() == {0}
+    assert m.memory.peek(counter) == n_threads * iters
+    assert m.fault_counters()["degraded_fails"] > 0
+
+
+def test_kill_before_start_degrades_on_first_touch():
+    """A slice dead from cycle 0: the very first request times out and
+    the tile degrades; everything runs in software thereafter."""
+    plan = FaultPlan(seed=2, slices=(SliceFault(tile=2, at=0, mode=KILL),))
+    m = _build_fast_recovery(29, plan)
+    lock = m.allocator.sync_var(home=2)
+    counter = m.allocator.line()
+
+    def body(th):
+        for _ in range(5):
+            yield from th.lock(lock)
+            value = yield from th.load(counter)
+            yield from th.store(counter, value + 1)
+            yield from th.unlock(lock)
+
+    for _ in range(4):
+        m.scheduler.spawn(body)
+    m.run(max_events=20_000_000)
+    assert m.degraded_tiles() == {2}
+    assert m.memory.peek(counter) == 4 * 5
+    assert m.msa_tile_coverage(2) in (None, 0.0)
+
+
+def test_deadlock_error_reports_blocked_detail():
+    """Satellite: DeadlockError carries the blocked threads and the
+    message describes what each is blocked on."""
+    m = build_machine("msa-omu-2", n_cores=16, seed=1)
+    lock = m.allocator.sync_var()
+
+    def greedy(th):
+        yield from th.lock(lock)
+        # Never unlocks.
+
+    def starved(th):
+        yield from th.compute(50)
+        yield from th.lock(lock)
+        yield from th.unlock(lock)
+
+    m.scheduler.spawn(greedy, name="greedy")
+    m.scheduler.spawn(starved, name="starved")
+    with pytest.raises(DeadlockError) as excinfo:
+        m.run()
+    err = excinfo.value
+    assert len(err.blocked) == 1
+    assert err.blocked[0].name == "starved"
+    assert "starved" in str(err)
+    assert "future" in str(err)
