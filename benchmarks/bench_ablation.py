@@ -8,20 +8,31 @@ filter, HWSync on/off) and check that each mechanism earns its place.
 import pytest
 
 from repro.common.params import MSAParams, OMUParams
-from repro.harness.configs import machine_params
-from repro.harness.runner import run_workload
-from repro.machine import Machine
+from repro.harness.jobs import JobSpec, execute_spec
 from repro.workloads.kernels import KERNELS
+
+assert KERNELS  # kernels registry backs the specs' workload names
 
 
 def run_with(msa=None, omu=None, app="radiosity", n_cores=16, scale=0.4, seed=2015):
-    params, library = machine_params("msa-omu-2", n_cores=n_cores, seed=seed)
+    """One ablation point through the engine's spec/executor path:
+    parameter overrides ride in ``JobSpec.params`` so the same spec is
+    poolable and content-hashable for caching."""
+    overrides = {}
     if msa is not None:
-        params = params.with_(msa=msa)
+        overrides["msa"] = msa
     if omu is not None:
-        params = params.with_(omu=omu)
-    machine = Machine(params, library=library)
-    return run_workload(machine, KERNELS[app](n_cores, scale))
+        overrides["omu"] = omu
+    return execute_spec(
+        JobSpec(
+            config="msa-omu-2",
+            workload=app,
+            cores=n_cores,
+            scale=scale,
+            seed=seed,
+            params=overrides,
+        )
+    )
 
 
 class TestEntryCountSweep:
@@ -176,13 +187,16 @@ class TestNocSensitivity:
 
     def _run_noc(self, config, router_latency, scale):
         from repro.common.params import NocParams
-        from repro.harness.configs import machine_params
-        from repro.machine import Machine
 
-        params, library = machine_params(config, n_cores=16)
-        params = params.with_(noc=NocParams(router_latency=router_latency))
-        machine = Machine(params, library=library)
-        return run_workload(machine, KERNELS["streamcluster"](16, scale))
+        return execute_spec(
+            JobSpec(
+                config=config,
+                workload="streamcluster",
+                cores=16,
+                scale=scale,
+                params={"noc": NocParams(router_latency=router_latency)},
+            )
+        )
 
     def test_sweep_timing(self, benchmark, bench_scale):
         benchmark.pedantic(
@@ -228,8 +242,12 @@ class TestSmtAblation:
     extension): double the threads on the same 16 tiles."""
 
     def _run_smt(self, config, hw_threads, scale, app="streamcluster"):
+        # Thread count (16 * hw_threads) deliberately exceeds spec.cores,
+        # which the registry call convention cannot express -- this one
+        # stays on the direct build path.
         from repro.common.params import CoreParams
         from repro.harness.configs import machine_params
+        from repro.harness.runner import run_workload
         from repro.machine import Machine
 
         params, library = machine_params(config, n_cores=16)

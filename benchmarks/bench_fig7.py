@@ -14,11 +14,13 @@ from repro.harness.experiments import fig7
 
 
 @pytest.fixture(scope="module")
-def coverage(bench_cores, bench_scale):
-    return fig7(cores=bench_cores, scale=bench_scale, print_out=True)
+def coverage(bench_cores, bench_scale, bench_engine):
+    return fig7(
+        cores=bench_cores, scale=bench_scale, print_out=True, **bench_engine
+    )
 
 
-def test_fig7_regenerate(benchmark, bench_cores, bench_scale):
+def test_fig7_regenerate(benchmark, bench_cores, bench_scale, bench_engine):
     result = benchmark.pedantic(
         lambda: fig7(
             cores=(bench_cores[0],),
@@ -26,6 +28,7 @@ def test_fig7_regenerate(benchmark, bench_cores, bench_scale):
             apps=("radiosity", "streamcluster"),
             scale=bench_scale,
             print_out=False,
+            **bench_engine,
         ),
         rounds=1,
         iterations=1,

@@ -10,6 +10,12 @@ Set ``REPRO_BENCH_FULL=1`` to run the paper-sized grid (16 and 64
 cores, full workload scale) -- slower but closer to the published
 numbers.  The printed tables are the deliverable; the benchmark timings
 just record how long each experiment takes to regenerate.
+
+The figure drivers run on the parallel experiment engine
+(:mod:`repro.harness.jobs`): set ``REPRO_BENCH_WORKERS=8`` to fan each
+figure's grid across processes and ``REPRO_BENCH_CACHE=.repro-cache``
+to serve repeated grid points from the on-disk result cache (the
+second benchmark run of an unchanged tree is then nearly free).
 """
 
 import os
@@ -22,6 +28,10 @@ FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 CORES = (16, 64) if FULL else (16,)
 SCALE = 1.0 if FULL else 0.4
 
+#: Engine fan-out/caching for the figure drivers.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or "0") or None
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+
 
 @pytest.fixture(scope="session")
 def bench_cores():
@@ -31,3 +41,9 @@ def bench_cores():
 @pytest.fixture(scope="session")
 def bench_scale():
     return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_engine():
+    """Keyword arguments forwarded to every figure driver's engine."""
+    return {"workers": WORKERS, "cache_dir": CACHE_DIR}

@@ -15,13 +15,17 @@ Management" (ISCA 2015).  It provides:
   table of the paper's evaluation (:mod:`repro.workloads`,
   :mod:`repro.harness`).
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the front door)::
 
-    from repro.harness import build_machine, run_workload
-    from repro.workloads.kernels import streamcluster
+    import repro
 
-    machine = build_machine("msa-omu-2", n_cores=16)
-    result = run_workload(machine, streamcluster.make(n_threads=16))
+    machine = repro.build("msa-omu-2", cores=16)
+    result = repro.run("msa-omu-2", "streamcluster", cores=16, scale=0.5)
+    points = repro.sweep(
+        configs=("pthread", "msa-omu-2"),
+        workloads=("canneal", "swaptions"),
+        workers=4,
+    )
     print(result.cycles, result.msa_coverage)
 """
 
@@ -34,7 +38,32 @@ __all__ = [
     "MachineParams",
     "MSAParams",
     "OMUParams",
+    "api",
+    "build",
+    "run",
+    "sweep",
+    "RunResult",
     "__version__",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Facade names resolved lazily so ``import repro`` stays light (the
+#: harness pulls in the whole machine model) and free of import cycles.
+_API_NAMES = ("build", "run", "sweep", "RunResult", "Engine", "JobSpec")
+
+
+def __getattr__(name):
+    if name == "api":
+        import repro.api as api
+
+        return api
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | {"api"} | set(_API_NAMES))

@@ -1,0 +1,165 @@
+"""Unified command-line entry point: ``python -m repro <command>``.
+
+One dispatcher for every experiment driver plus ad-hoc grids through
+the parallel engine::
+
+    python -m repro fig6 --cores 16 64 --scale 0.5 --workers 8
+    python -m repro chaos --cores 16
+    python -m repro sweep --configs pthread msa-omu-2 \\
+        --workloads canneal swaptions --workers 4 --csv out.csv
+    python -m repro all --workers 8 --cache-dir ~/.cache/repro
+
+Engine flags are shared by every command: ``--workers`` fans grid
+points out across processes, ``--cache-dir`` enables the
+content-addressed result cache (repeat runs are free), ``--manifest``
+makes a sweep resumable after a crash or ^C, and ``--progress`` prints
+per-point completion lines with an ETA.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import experiments
+
+FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
+COMMANDS = ("table1",) + FIGURES + ("headline", "chaos", "sweep", "all")
+
+
+def _engine_kwargs(args) -> dict:
+    return {
+        "workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "progress": args.progress,
+    }
+
+
+def _dispatch(name: str, args) -> object:
+    engine = _engine_kwargs(args)
+    if name == "table1":
+        return experiments.table1()
+    if name == "fig5":
+        return experiments.fig5(cores=args.cores, **engine)
+    if name == "fig6":
+        result = experiments.fig6(cores=args.cores, scale=args.scale, **engine)
+        if args.csv:
+            experiments.export_fig6_csv(result, args.csv)
+            print(f"\nwrote {args.csv}")
+        return result
+    if name == "fig7":
+        return experiments.fig7(cores=args.cores, scale=args.scale, **engine)
+    if name == "fig8":
+        return experiments.fig8(cores=args.cores, scale=args.scale, **engine)
+    if name == "fig9":
+        return experiments.fig9(
+            n_cores=max(args.cores), scale=args.scale, **engine
+        )
+    if name == "headline":
+        return experiments.headline(
+            n_cores=max(args.cores), scale=args.scale, **engine
+        )
+    if name == "chaos":
+        return experiments.chaos(
+            n_cores=min(args.cores), scale=args.scale, **engine
+        )
+    raise ValueError(f"unknown command {name!r}")
+
+
+def _run_sweep(args) -> int:
+    from repro import api
+    from repro.harness.sweep import add_speedups, to_csv
+
+    points, stats = api.sweep(
+        configs=args.configs,
+        workloads=args.workloads,
+        cores=tuple(args.cores),
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        manifest=args.manifest,
+        progress=args.progress,
+        return_stats=True,
+    )
+    if args.baseline:
+        add_speedups(points, baseline_config=args.baseline)
+    text = to_csv(points, path=args.csv)
+    if args.csv:
+        print(f"wrote {args.csv} ({len(points)} points)")
+    else:
+        print(text, end="")
+    print(f"engine: {stats.describe()}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, cores_default=list(experiments.DEFAULT_CORES)):
+        p.add_argument("--cores", type=int, nargs="+", default=cores_default)
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes (default: REPRO_WORKERS or serial)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="result-cache directory (default: REPRO_CACHE_DIR or off)",
+        )
+        p.add_argument(
+            "--progress", action="store_true", help="per-point progress + ETA"
+        )
+
+    for name in ("table1",) + FIGURES + ("headline", "chaos", "all"):
+        p = sub.add_parser(name, help=f"run the {name} driver")
+        add_common(p)
+        if name in ("fig6", "all"):
+            p.add_argument(
+                "--csv", default=None, help="also write fig6 grid to this CSV"
+            )
+
+    p = sub.add_parser(
+        "sweep", help="ad-hoc grid through the parallel engine"
+    )
+    add_common(p, cores_default=[16])
+    p.add_argument(
+        "--configs", nargs="+", required=True, help="machine configurations"
+    )
+    p.add_argument(
+        "--workloads", nargs="+", required=True, help="kernel registry names"
+    )
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--baseline", default=None, help="annotate speedups over this config"
+    )
+    p.add_argument("--manifest", default=None, help="resumable-sweep manifest path")
+    p.add_argument("--csv", default=None, help="write results to this CSV path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    names = (
+        ("table1",) + FIGURES + ("headline", "chaos")
+        if args.command == "all"
+        else (args.command,)
+    )
+    for name in names:
+        _dispatch(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""High-level facade: build machines, run workloads, sweep grids.
+
+One import gives the whole reproduction workflow with consistent
+keyword names (``cores``, ``seed``, ``scale``) everywhere::
+
+    from repro import api
+
+    machine = api.build("msa-omu-2", cores=16)
+    result = api.run("msa-omu-2", "streamcluster", cores=16, scale=0.5)
+    points = api.sweep(
+        configs=("pthread", "msa-omu-2"),
+        workloads=("canneal", "swaptions"),
+        cores=(16,),
+        workers=4,                  # fan out across processes
+        cache_dir="~/.cache/repro", # repeat runs are free
+    )
+
+Everything here is re-exported from the package root, so
+``repro.build(...)`` / ``repro.run(...)`` / ``repro.sweep(...)`` work
+too.  The lower-level modules (:mod:`repro.harness.jobs`,
+:mod:`repro.harness.configs`, :mod:`repro.harness.runner`) remain the
+extension points; this module only composes them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.harness.configs import CONFIG_NAMES, build_machine
+from repro.harness.jobs import (
+    Engine,
+    EngineStats,
+    JobResult,
+    JobSpec,
+    resolve_factory,
+    run_jobs,
+)
+from repro.harness.runner import RunResult, run_workload
+from repro.harness.sweep import SweepPoint, add_speedups, to_csv
+from repro.harness.sweep import sweep as _sweep_impl
+from repro.machine import Machine
+from repro.workloads.base import Workload
+
+__all__ = [
+    "build",
+    "run",
+    "sweep",
+    "Machine",
+    "RunResult",
+    "SweepPoint",
+    "Engine",
+    "EngineStats",
+    "JobSpec",
+    "JobResult",
+    "run_jobs",
+    "add_speedups",
+    "to_csv",
+    "CONFIG_NAMES",
+]
+
+DEFAULT_SEED = 2015
+
+
+def build(
+    config: str,
+    cores: int = 16,
+    seed: int = DEFAULT_SEED,
+    fault_plan=None,
+    **params,
+) -> Machine:
+    """Build a ready-to-run machine for a named configuration.
+
+    Extra keyword arguments override top-level :class:`MachineParams`
+    fields (e.g. ``msa=MSAParams(entries_per_tile=4)``,
+    ``ideal_sync=True``)."""
+    return build_machine(
+        config, n_cores=cores, seed=seed, fault_plan=fault_plan, **params
+    )
+
+
+def run(
+    machine_or_config: Union[Machine, str],
+    workload: Union[Workload, str, Callable],
+    cores: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+    max_events: Optional[int] = 50_000_000,
+    check: bool = True,
+    fault_plan=None,
+    **params,
+) -> RunResult:
+    """Run one workload to completion and return its :class:`RunResult`.
+
+    ``machine_or_config`` is either a prebuilt :class:`Machine` or a
+    configuration name (which is built here with ``cores``/``seed``/
+    parameter overrides).  ``workload`` is a :class:`Workload` instance,
+    a registry name (kernels or microbenches), or a factory callable
+    ``factory(cores[, scale])``.
+    """
+    if isinstance(machine_or_config, Machine):
+        machine = machine_or_config
+        config = machine.library_name
+        if cores is not None and cores != machine.params.n_cores:
+            raise ValueError(
+                f"cores={cores} conflicts with the prebuilt machine's "
+                f"{machine.params.n_cores} cores"
+            )
+    else:
+        config = machine_or_config
+        machine = build(
+            config,
+            cores=cores if cores is not None else 16,
+            seed=seed,
+            fault_plan=fault_plan,
+            **params,
+        )
+    if not isinstance(workload, Workload):
+        from repro.harness.jobs import _instantiate
+
+        factory = (
+            resolve_factory(workload) if isinstance(workload, str) else workload
+        )
+        workload = _instantiate(factory, machine.params.n_cores, scale)
+    return run_workload(
+        machine,
+        workload,
+        max_events=max_events,
+        check=check,
+        config=config if isinstance(machine_or_config, str) else "",
+    )
+
+
+def sweep(
+    configs: Sequence[str],
+    workloads: Union[Dict[str, Callable], Sequence[str], str],
+    cores: Sequence[int] = (16,),
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    manifest=None,
+    progress=False,
+    machine_hook: Optional[Callable] = None,
+    return_stats: bool = False,
+) -> Union[List[SweepPoint], Tuple[List[SweepPoint], EngineStats]]:
+    """Run a (config x workload x cores) grid through the engine.
+
+    ``workloads`` may be registry names (string or sequence of strings)
+    or an explicit ``{name: factory}`` mapping.  ``workers`` > 1 fans
+    points out across processes; ``cache_dir`` serves repeated points
+    from the on-disk result cache; ``manifest`` makes the sweep
+    resumable.  With ``return_stats`` the engine's
+    :class:`EngineStats` (cache hits, retries, failures) ride along.
+    """
+    if isinstance(workloads, str):
+        workloads = (workloads,)
+    if not isinstance(workloads, dict):
+        workloads = {name: resolve_factory(name) for name in workloads}
+    engine = Engine(
+        workers=workers, cache_dir=cache_dir, manifest=manifest, progress=progress
+    )
+    points = _sweep_impl(
+        configs=configs,
+        workload_factories=workloads,
+        cores=cores,
+        scale=scale,
+        seed=seed,
+        machine_hook=machine_hook,
+        engine=engine if machine_hook is None else None,
+    )
+    if return_stats:
+        return points, engine.stats
+    return points

@@ -10,8 +10,10 @@ hop-proportional NoC latency).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.common.errors import ConfigError
@@ -271,3 +273,19 @@ class MachineParams:
     def with_(self, **changes) -> "MachineParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict of every parameter (recurses into the
+        sub-parameter dataclasses; ``msa`` becomes ``None`` when absent)."""
+        return asdict(self)
+
+    def stable_hash(self) -> str:
+        """Content hash of the full parameter tree.
+
+        Two machines with equal parameters hash identically in any
+        process; any changed knob (including nested ones) changes the
+        hash.  The experiment engine folds this into its result-cache
+        keys so cached results are invalidated when machine defaults
+        change."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,23 +1,32 @@
 """Experiment drivers: one function per paper table/figure.
 
-Each driver runs the required (config, workload, core-count) grid,
-returns structured results, and can print the same rows/series the
-paper reports.  Run standalone::
+Each driver expresses its (config, workload, core-count) grid as
+:class:`repro.harness.jobs.JobSpec` points and runs them through the
+parallel experiment engine -- so every figure fans out across worker
+processes, is served from the result cache on repeat runs, and can be
+resumed from a manifest.  ``workers``/``cache_dir``/``progress`` on
+each driver (or the ``REPRO_WORKERS``/``REPRO_CACHE_DIR`` environment
+variables) configure the engine.
 
-    python -m repro.harness.experiments fig6 --cores 16 --scale 0.5
+Run standalone through the package CLI::
+
+    python -m repro fig6 --cores 16 --scale 0.5 --workers 4
+
+(``python -m repro.harness.experiments`` still works and forwards to
+the same CLI.)
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import SimulationError
 from repro.common.stats import geomean
-from repro.harness.configs import build_machine
+from repro.harness.jobs import Engine, JobSpec
 from repro.harness.report import render_table
-from repro.harness.runner import RunResult, run_workload
+from repro.harness.runner import RunResult
 from repro.workloads import microbench
 from repro.workloads.kernels import FIGURE_APPS, KERNELS
 
@@ -28,9 +37,48 @@ FIG6_CONFIGS = ("msa0", "mcs-tour", "msa-omu-1", "msa-omu-2", "msa-inf", "ideal"
 FIG9_CONFIGS = ("msa-omu-2", "msa-lockonly-2", "msa-barrieronly-2")
 
 
-def _run(config: str, workload, n_cores: int, seed: int = 2015) -> RunResult:
-    machine = build_machine(config, n_cores=n_cores, seed=seed)
-    return run_workload(machine, workload, config=config)
+def _run(config: str, workload_name: str, n_cores: int, seed: int = 2015) -> RunResult:
+    """Run one registry workload in-process (no pool, no cache)."""
+    from repro.harness.jobs import execute_spec
+
+    return execute_spec(
+        JobSpec(config=config, workload=workload_name, cores=n_cores, seed=seed)
+    )
+
+
+def _grid(
+    specs: Sequence[JobSpec],
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
+    manifest=None,
+) -> Dict[Tuple[str, str, int], RunResult]:
+    """Run a driver's grid through the engine; results are keyed by
+    (config, workload, cores).  Duplicate grid points collapse to one
+    run.  A point that still fails after its retry aborts the driver --
+    a figure with silent holes would be worse than no figure."""
+    unique: Dict[Tuple[str, str, int], JobSpec] = {}
+    for spec in specs:
+        unique.setdefault((spec.config, spec.workload, spec.cores), spec)
+    engine = Engine(
+        workers=workers, cache_dir=cache_dir, progress=progress, manifest=manifest
+    )
+    out: Dict[Tuple[str, str, int], RunResult] = {}
+    failures = []
+    for job in engine.run(list(unique.values())):
+        if job.ok:
+            out[(job.spec.config, job.spec.workload, job.spec.cores)] = job.result
+        else:
+            failures.append(f"{job.spec.describe()}: {job.error}")
+    if failures:
+        raise SimulationError(
+            "grid points failed after retries: " + "; ".join(failures)
+        )
+    return out
+
+
+def _dedupe(configs: Sequence[str]) -> List[str]:
+    return list(dict.fromkeys(configs))
 
 
 # ---------------------------------------------------------------------------
@@ -65,16 +113,31 @@ def fig5(
     cores: Sequence[int] = DEFAULT_CORES,
     configs: Sequence[str] = FIG5_CONFIGS,
     print_out: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
 ) -> Dict:
     """Raw latency (cycles) per probe, config, and core count."""
+    probes = list(microbench.MICROBENCHES)
+    runs = _grid(
+        [
+            JobSpec(config=config, workload=probe, cores=n)
+            for probe in probes
+            for n in cores
+            for config in configs
+        ],
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     results: Dict[str, Dict] = {}
-    for probe, factory in microbench.MICROBENCHES.items():
+    for probe in probes:
         metric = microbench.METRIC_KEYS[probe]
-        results[probe] = {}
-        for n in cores:
-            for config in configs:
-                run = _run(config, factory(n), n)
-                results[probe][(config, n)] = run.workload_metrics[metric]
+        results[probe] = {
+            (config, n): runs[(config, probe, n)].workload_metrics[metric]
+            for n in cores
+            for config in configs
+        }
     if print_out:
         from repro.harness.charts import hbar_chart
 
@@ -129,15 +192,29 @@ def fig6(
     apps: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     print_out: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
 ) -> SpeedupGrid:
     apps = list(apps or KERNELS.keys())
     grid = SpeedupGrid(apps=apps, cores=list(cores), configs=list(configs))
+    all_configs = _dedupe(["pthread"] + list(configs))
+    runs = _grid(
+        [
+            JobSpec(config=config, workload=app, cores=n, scale=scale)
+            for app in apps
+            for n in cores
+            for config in all_configs
+        ],
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     for app in apps:
-        factory = KERNELS[app]
         for n in cores:
-            baseline = _run("pthread", factory(n, scale), n)
+            baseline = runs[("pthread", app, n)]
             for config in configs:
-                run = _run(config, factory(n, scale), n)
+                run = runs[(config, app, n)]
                 grid.speedups[(app, config, n)] = run.speedup_over(baseline)
                 grid.coverage[(app, config, n)] = run.msa_coverage
     if print_out:
@@ -183,21 +260,42 @@ def fig7(
     apps: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     print_out: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
 ) -> Dict:
     """Percentage of sync operations serviced by the MSA, averaged over
     the suite, with the OMU vs the never-deallocate baseline."""
     apps = list(apps or KERNELS.keys())
+    cells = [
+        (e, n, with_omu)
+        for n in cores
+        for e in entries
+        for with_omu in (False, True)
+    ]
+    config_of = {
+        (e, n, with_omu): f"msa-omu-{e}" if with_omu else f"msa-{e}-no-omu"
+        for (e, n, with_omu) in cells
+    }
+    runs = _grid(
+        [
+            JobSpec(config=config_of[cell], workload=app, cores=cell[1], scale=scale)
+            for cell in cells
+            for app in apps
+        ],
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     results: Dict = {}
-    for n in cores:
-        for e in entries:
-            for with_omu in (False, True):
-                config = f"msa-omu-{e}" if with_omu else f"msa-{e}-no-omu"
-                covs = []
-                for app in apps:
-                    run = _run(config, KERNELS[app](n, scale), n)
-                    if run.msa_coverage is not None:
-                        covs.append(run.msa_coverage)
-                results[(e, n, with_omu)] = 100.0 * sum(covs) / len(covs)
+    for cell in cells:
+        e, n, with_omu = cell
+        covs = [
+            runs[(config_of[cell], app, n)].msa_coverage
+            for app in apps
+            if runs[(config_of[cell], app, n)].msa_coverage is not None
+        ]
+        results[cell] = 100.0 * sum(covs) / len(covs)
     if print_out:
         rows = []
         for e in entries:
@@ -224,18 +322,34 @@ def fig7(
 # Figure 8: HWSync-bit optimization on fluidanimate
 # ---------------------------------------------------------------------------
 def fig8(
-    cores: Sequence[int] = DEFAULT_CORES, scale: float = 1.0, print_out: bool = True
+    cores: Sequence[int] = DEFAULT_CORES,
+    scale: float = 1.0,
+    print_out: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
 ) -> Dict:
-    factory = KERNELS["fluidanimate"]
+    configs = ("pthread", "msa-omu-2", "msa-omu-2-noopt")
+    runs = _grid(
+        [
+            JobSpec(config=c, workload="fluidanimate", cores=n, scale=scale)
+            for n in cores
+            for c in configs
+        ],
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     results: Dict = {}
     for n in cores:
-        baseline = _run("pthread", factory(n, scale), n)
+        baseline = runs[("pthread", "fluidanimate", n)]
         for config, label in (
             ("msa-omu-2", "with_opt"),
             ("msa-omu-2-noopt", "without_opt"),
         ):
-            run = _run(config, factory(n, scale), n)
-            results[(label, n)] = run.speedup_over(baseline)
+            results[(label, n)] = runs[(config, "fluidanimate", n)].speedup_over(
+                baseline
+            )
     if print_out:
         rows = [
             [f"{n}-core", f"{results[('with_opt', n)]:.3f}",
@@ -260,15 +374,28 @@ def fig9(
     apps: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     print_out: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
 ) -> Dict:
     apps = list(apps or KERNELS.keys())
+    runs = _grid(
+        [
+            JobSpec(config=config, workload=app, cores=n_cores, scale=scale)
+            for app in apps
+            for config in _dedupe(["pthread"] + list(FIG9_CONFIGS))
+        ],
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     results: Dict = {}
     for app in apps:
-        factory = KERNELS[app]
-        baseline = _run("pthread", factory(n_cores, scale), n_cores)
+        baseline = runs[("pthread", app, n_cores)]
         for config in FIG9_CONFIGS:
-            run = _run(config, factory(n_cores, scale), n_cores)
-            results[(app, config)] = run.speedup_over(baseline)
+            results[(app, config)] = runs[(config, app, n_cores)].speedup_over(
+                baseline
+            )
     for config in FIG9_CONFIGS:
         results[("GeoMean", config)] = geomean(
             results[(app, config)] for app in apps
@@ -299,6 +426,9 @@ def chaos(
     scale: float = 0.5,
     config: str = "msa-omu-2",
     print_out: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
 ) -> Dict:
     """Sweep NoC drop probability over sync-heavy kernels and report the
     cost of recovery: completion, slowdown over the fault-free run,
@@ -307,23 +437,39 @@ def chaos(
     hooks run at each point."""
     from repro.faults import drop_plan
 
+    grid = [(app, rate) for app in apps for rate in drop_rates]
+    specs = [
+        JobSpec(
+            config=config,
+            workload=app,
+            cores=n_cores,
+            scale=scale,
+            fault_plan=drop_plan(rate, seed=1) if rate else None,
+        )
+        for app, rate in grid
+    ]
+    engine = Engine(workers=workers, cache_dir=cache_dir, progress=progress)
     results: Dict = {}
-    for app in apps:
-        factory = KERNELS[app]
-        for rate in drop_rates:
-            plan = drop_plan(rate, seed=1) if rate else None
-            machine = build_machine(config, n_cores=n_cores, fault_plan=plan)
-            run = run_workload(machine, factory(n_cores, scale), config=config)
-            fc = machine.fault_counters() if plan is not None else {}
-            results[(app, rate)] = {
-                "cycles": run.cycles,
-                "coverage": run.msa_coverage,
-                "msgs_dropped": fc.get("msgs_dropped", 0),
-                "retransmits": fc.get("retransmits", 0),
-                "retries": fc.get("retries", 0),
-                "timeouts": fc.get("timeouts", 0),
-                "degraded_tiles": fc.get("degraded_tiles", 0),
-            }
+    failures = []
+    for (app, rate), job in zip(grid, engine.run(specs)):
+        if not job.ok:
+            failures.append(f"{job.spec.describe()}@drop={rate}: {job.error}")
+            continue
+        run = job.result
+        fc = run.fault_counters
+        results[(app, rate)] = {
+            "cycles": run.cycles,
+            "coverage": run.msa_coverage,
+            "msgs_dropped": fc.get("msgs_dropped", 0),
+            "retransmits": fc.get("retransmits", 0),
+            "retries": fc.get("retries", 0),
+            "timeouts": fc.get("timeouts", 0),
+            "degraded_tiles": fc.get("degraded_tiles", 0),
+        }
+    if failures:
+        raise SimulationError(
+            "chaos points failed after retries: " + "; ".join(failures)
+        )
     if print_out:
         for app in apps:
             base = results[(app, drop_rates[0])]["cycles"]
@@ -366,17 +512,33 @@ def chaos(
 # ---------------------------------------------------------------------------
 # Headline numbers (abstract / section 6 summary)
 # ---------------------------------------------------------------------------
-def headline(n_cores: int = 64, scale: float = 1.0, print_out: bool = True) -> Dict:
+def headline(
+    n_cores: int = 64,
+    scale: float = 1.0,
+    print_out: bool = True,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=False,
+) -> Dict:
     """The paper's summary claims: coverage of MSA-2 with OMU, mean
     speedup over pthreads, distance from ideal."""
     apps = list(KERNELS.keys())
+    runs = _grid(
+        [
+            JobSpec(config=config, workload=app, cores=n_cores, scale=scale)
+            for app in apps
+            for config in ("pthread", "msa-omu-2", "ideal")
+        ],
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
     speedups, coverages, vs_ideal = [], [], []
     best = ("", 0.0)
     for app in apps:
-        factory = KERNELS[app]
-        base = _run("pthread", factory(n_cores, scale), n_cores)
-        msa = _run("msa-omu-2", factory(n_cores, scale), n_cores)
-        ideal = _run("ideal", factory(n_cores, scale), n_cores)
+        base = runs[("pthread", app, n_cores)]
+        msa = runs[("msa-omu-2", app, n_cores)]
+        ideal = runs[("ideal", app, n_cores)]
         s = msa.speedup_over(base)
         speedups.append(s)
         if s > best[1]:
@@ -402,18 +564,6 @@ def headline(n_cores: int = 64, scale: float = 1.0, print_out: bool = True) -> D
     return out
 
 
-EXPERIMENTS = {
-    "table1": lambda args: table1(),
-    "fig5": lambda args: fig5(cores=args.cores),
-    "fig6": lambda args: fig6(cores=args.cores, scale=args.scale),
-    "fig7": lambda args: fig7(cores=args.cores, scale=args.scale),
-    "fig8": lambda args: fig8(cores=args.cores, scale=args.scale),
-    "fig9": lambda args: fig9(n_cores=max(args.cores), scale=args.scale),
-    "headline": lambda args: headline(n_cores=max(args.cores), scale=args.scale),
-    "chaos": lambda args: chaos(n_cores=min(args.cores), scale=args.scale),
-}
-
-
 def export_fig6_csv(grid: SpeedupGrid, path: str) -> None:
     """Write a Figure-6 speedup grid as flat CSV rows."""
     import csv
@@ -435,25 +585,10 @@ def export_fig6_csv(grid: SpeedupGrid, path: str) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
-    parser.add_argument(
-        "--cores", type=int, nargs="+", default=list(DEFAULT_CORES)
-    )
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument(
-        "--csv",
-        default=None,
-        help="for fig6: also write the speedup grid to this CSV path",
-    )
-    args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        result = EXPERIMENTS[name](args)
-        if name == "fig6" and args.csv:
-            export_fig6_csv(result, args.csv)
-            print(f"\nwrote {args.csv}")
-    return 0
+    """Thin alias: the real CLI lives in :mod:`repro.__main__`."""
+    from repro.__main__ import main as cli_main
+
+    return cli_main(argv)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,550 @@
+"""Parallel experiment engine: fan grid points out across worker
+processes, with a content-addressed result cache and resumable sweeps.
+
+The paper's evaluation is an embarrassingly parallel grid -- kernels x
+configurations x core counts -- and every figure driver used to walk it
+one point at a time in one process.  This module is the execution
+substrate they now share:
+
+* :class:`JobSpec` names one grid point (config, workload, cores, scale,
+  seed, parameter overrides).  Specs are pure data: a worker process
+  rebuilds the machine and workload from the spec alone and re-seeds
+  from ``spec.seed``, so a point's :class:`RunResult` is bit-for-bit
+  identical whether it ran serially, in a pool, or on a different day.
+* :class:`ResultCache` stores finished results on disk keyed by a hash
+  of the spec *plus the fully resolved* :class:`MachineParams`, so
+  re-running a figure after an unrelated edit is free while any changed
+  machine knob (including library defaults) misses cleanly.
+* :class:`SweepManifest` records done/failed points in a JSON file that
+  is rewritten after every completion; a killed sweep resumes from the
+  manifest and only runs what is missing.
+* :class:`Engine` orchestrates: cache lookups, a process pool, one
+  retry for crashed or :class:`SimulationError`-ed points, progress/ETA
+  reporting, and :class:`EngineStats` accounting.
+
+Environment defaults: ``REPRO_WORKERS`` (worker count when ``workers``
+is not given; unset means serial) and ``REPRO_CACHE_DIR`` (cache
+location when ``cache_dir`` is not given; unset means no cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.harness.configs import machine_params
+from repro.harness.report import ProgressReporter
+from repro.harness.runner import RunResult
+
+#: Bump to invalidate every existing cache entry (schema changes).
+CACHE_VERSION = 1
+
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+# ---------------------------------------------------------------------------
+# Job specification
+# ---------------------------------------------------------------------------
+@dataclass
+class JobSpec:
+    """One grid point, as pure (picklable, hashable-by-content) data.
+
+    ``workload`` is a registry name (:data:`repro.workloads.kernels.KERNELS`
+    or :data:`repro.workloads.microbench.MICROBENCHES`) unless an explicit
+    ``factory`` rides along; ``params`` are keyword overrides applied to
+    the resolved :class:`MachineParams` (e.g. ``{"n_cores": 16}`` is
+    spelled ``cores=16`` instead, but NoC/cache sub-params go here).
+    """
+
+    config: str
+    workload: str
+    cores: int = 16
+    scale: float = 1.0
+    seed: int = 2015
+    params: Dict[str, Any] = field(default_factory=dict)
+    max_events: Optional[int] = DEFAULT_MAX_EVENTS
+    check: bool = True
+    fault_plan: Any = None
+    factory: Optional[Callable] = field(default=None, repr=False, compare=False)
+    """Explicit workload factory; optional.  Not part of the cache key
+    beyond its dotted name -- prefer registry names for cacheable runs."""
+
+    def describe(self) -> str:
+        return f"{self.workload}/{self.config}@{self.cores}"
+
+    def resolved_params(self):
+        """The final (MachineParams, library) this spec will run with."""
+        params, library = machine_params(
+            self.config, n_cores=self.cores, seed=self.seed
+        )
+        if self.params:
+            params = params.with_(**self.params)
+        return params, library
+
+    def key(self) -> str:
+        """Content-addressed cache key.
+
+        Hashes the spec fields *and* the fully resolved machine
+        parameters, so a change to any default (in code) or any override
+        (in the spec) invalidates exactly the affected points.
+        """
+        params, library = self.resolved_params()
+        payload = {
+            "v": CACHE_VERSION,
+            "config": self.config,
+            "workload": self.workload,
+            "factory": _factory_fingerprint(self.factory),
+            "cores": self.cores,
+            "scale": self.scale,
+            "seed": self.seed,
+            "max_events": self.max_events,
+            "check": self.check,
+            "library": library,
+            "machine": params.to_dict(),
+            "fault_plan": (
+                asdict(self.fault_plan) if self.fault_plan is not None else None
+            ),
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _factory_fingerprint(factory: Optional[Callable]) -> Optional[str]:
+    if factory is None:
+        return None
+    module = getattr(factory, "__module__", "?")
+    qualname = getattr(factory, "__qualname__", repr(factory))
+    return f"{module}.{qualname}"
+
+
+def resolve_factory(name: str) -> Callable:
+    """Look a workload name up in the kernel and microbench registries."""
+    from repro.workloads.kernels import KERNELS
+    from repro.workloads import microbench
+
+    if name in KERNELS:
+        return KERNELS[name]
+    if name in microbench.MICROBENCHES:
+        return microbench.MICROBENCHES[name]
+    raise ConfigError(
+        f"unknown workload {name!r}; expected one of "
+        f"{sorted(KERNELS) + sorted(microbench.MICROBENCHES)}"
+    )
+
+
+def _instantiate(factory: Callable, cores: int, scale: float):
+    """Call a workload factory, passing ``scale`` only if it declares a
+    parameter of that name (kernels do, the latency microbenches take
+    ``iters``/``episodes`` knobs instead)."""
+    try:
+        sig = inspect.signature(factory)
+        takes_scale = "scale" in sig.parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in sig.parameters.values()
+        )
+    except (TypeError, ValueError):
+        takes_scale = True
+    return factory(cores, scale=scale) if takes_scale else factory(cores)
+
+
+def execute_spec(spec: JobSpec) -> RunResult:
+    """Run one grid point to completion in *this* process.
+
+    This is the worker entry point: everything is rebuilt from the spec
+    (machine, RNG streams, workload), so no state leaks between points
+    and parallel results match serial ones bit for bit.
+    """
+    from repro.harness.runner import run_workload
+    from repro.machine import Machine
+
+    params, library = spec.resolved_params()
+    machine = Machine(params, library=library, fault_plan=spec.fault_plan)
+    factory = spec.factory if spec.factory is not None else resolve_factory(
+        spec.workload
+    )
+    workload = _instantiate(factory, spec.cores, spec.scale)
+    return run_workload(
+        machine,
+        workload,
+        max_events=spec.max_events,
+        check=spec.check,
+        config=spec.config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed on-disk cache of serialized :class:`RunResult`.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` holding the spec summary
+    (for humans) and the result.  Writes are atomic (temp file +
+    rename) so a killed sweep never leaves a torn entry behind.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self.path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult.from_dict(data["result"])
+
+    def put(self, key: str, spec: JobSpec, result: RunResult) -> None:
+        path = self.path(key)
+        payload = {
+            "key": key,
+            "spec": {
+                "config": spec.config,
+                "workload": spec.workload,
+                "cores": spec.cores,
+                "scale": spec.scale,
+                "seed": spec.seed,
+            },
+            "result": result.to_dict(),
+        }
+        _atomic_write_json(path, payload)
+
+
+def _atomic_write_json(path: Path, payload) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(payload, f, sort_keys=True)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Sweep manifest (resume support)
+# ---------------------------------------------------------------------------
+class SweepManifest:
+    """Done/failed ledger for a sweep, persisted after every completion.
+
+    Restarting the same sweep with the same manifest path skips every
+    point recorded ``done`` whose cached result is still readable and
+    re-runs the rest (pending *and* failed), so a crashed or killed
+    sweep loses at most the in-flight points.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        try:
+            data = json.loads(self.path.read_text())
+            self.entries = data.get("points", {})
+        except (OSError, ValueError):
+            pass
+
+    def status(self, key: str) -> Optional[str]:
+        entry = self.entries.get(key)
+        return entry["status"] if entry else None
+
+    def record(
+        self,
+        key: str,
+        spec: JobSpec,
+        status: str,
+        attempts: int,
+        error: Optional[str] = None,
+    ) -> None:
+        self.entries[key] = {
+            "spec": spec.describe(),
+            "status": status,
+            "attempts": attempts,
+            "error": error,
+        }
+        self.save()
+
+    def save(self) -> None:
+        counts: Dict[str, int] = {}
+        for entry in self.entries.values():
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        _atomic_write_json(
+            self.path, {"version": CACHE_VERSION, "counts": counts,
+                        "points": self.entries}
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """What one :meth:`Engine.run` did with its grid."""
+
+    total: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    executed: int = 0
+    retried: int = 0
+    failed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} points: {self.cache_hits} cached "
+            f"({self.resumed} via manifest), {self.executed} ran, "
+            f"{self.retried} retried, {self.failed} failed"
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one grid point (result *or* error, never silently lost)."""
+
+    spec: JobSpec
+    key: str
+    result: Optional[RunResult] = None
+    cached: bool = False
+    resumed: bool = False
+    attempts: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+class Engine:
+    """Run a batch of :class:`JobSpec` with caching, pooling, retries.
+
+    ``workers``: process count; ``None`` reads ``REPRO_WORKERS``, and a
+    value <= 1 runs in-process.  ``cache_dir``: result-cache root;
+    ``None`` reads ``REPRO_CACHE_DIR``, empty means no caching.
+    ``manifest``: path of a :class:`SweepManifest` for resumable runs.
+    ``retries``: extra attempts for a crashed/errored point (default 1).
+    ``progress``: ``True`` for stderr progress lines, or a
+    :class:`ProgressReporter`-compatible object.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir=None,
+        manifest=None,
+        retries: int = 1,
+        progress=False,
+    ):
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "0") or "0")
+        self.workers = max(1, workers)
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.manifest = SweepManifest(manifest) if manifest else None
+        self.retries = retries
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # -- public API ----------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Run every spec; returns one :class:`JobResult` per spec, in
+        input order.  Failures are reported in the results (and the
+        manifest), not raised -- callers that need all points decide
+        what a hole means."""
+        stats = self.stats = EngineStats(total=len(specs))
+        results: List[Optional[JobResult]] = [None] * len(specs)
+        reporter = self._reporter(len(specs))
+
+        pending: List[Tuple[int, JobSpec, str]] = []
+        for index, spec in enumerate(specs):
+            key = spec.key()
+            job = self._from_cache(spec, key)
+            if job is not None:
+                stats.cache_hits += 1
+                if job.resumed:
+                    stats.resumed += 1
+                results[index] = job
+                self._report(reporter, job)
+            else:
+                pending.append((index, spec, key))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                self._run_parallel(pending, results, reporter)
+            else:
+                self._run_serial(pending, results, reporter)
+        return [job for job in results if job is not None]
+
+    # -- cache/manifest plumbing ---------------------------------------
+    def _from_cache(self, spec: JobSpec, key: str) -> Optional[JobResult]:
+        if self.cache is None:
+            return None
+        result = self.cache.get(key)
+        if result is None:
+            return None
+        resumed = (
+            self.manifest is not None and self.manifest.status(key) == "done"
+        )
+        return JobResult(
+            spec=spec, key=key, result=result, cached=True, resumed=resumed
+        )
+
+    def _complete(
+        self,
+        index: int,
+        spec: JobSpec,
+        key: str,
+        result: Optional[RunResult],
+        attempts: int,
+        error: Optional[str],
+        results: List[Optional[JobResult]],
+        reporter,
+    ) -> None:
+        job = JobResult(
+            spec=spec, key=key, result=result, attempts=attempts, error=error
+        )
+        if result is not None:
+            self.stats.executed += 1
+            if self.cache is not None:
+                self.cache.put(key, spec, result)
+        else:
+            self.stats.failed += 1
+        if self.manifest is not None:
+            self.manifest.record(
+                key,
+                spec,
+                "done" if result is not None else "failed",
+                attempts,
+                error,
+            )
+        results[index] = job
+        self._report(reporter, job)
+
+    # -- execution backends --------------------------------------------
+    def _run_serial(self, pending, results, reporter) -> None:
+        for index, spec, key in pending:
+            result, attempts, error = self._attempt_serial(spec)
+            self._complete(
+                index, spec, key, result, attempts, error, results, reporter
+            )
+
+    def _attempt_serial(self, spec: JobSpec):
+        error = None
+        for attempt in range(1, self.retries + 2):
+            try:
+                return execute_spec(spec), attempt, None
+            except Exception as exc:  # SimulationError, workload bugs, ...
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt <= self.retries:
+                    self.stats.retried += 1
+        return None, self.retries + 1, error
+
+    def _run_parallel(self, pending, results, reporter) -> None:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        # Specs that cannot cross a process boundary (closure/lambda
+        # factories) run in the parent instead of poisoning the pool.
+        local, remote = [], []
+        for item in pending:
+            try:
+                pickle.dumps(item[1])
+                remote.append(item)
+            except Exception:
+                local.append(item)
+
+        leftovers = list(local)
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(execute_spec, spec): (index, spec, key, 1)
+                    for index, spec, key in remote
+                }
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        index, spec, key, attempt = futures.pop(fut)
+                        exc = fut.exception()
+                        if exc is None:
+                            self._complete(
+                                index, spec, key, fut.result(), attempt,
+                                None, results, reporter,
+                            )
+                        elif isinstance(exc, BrokenProcessPool):
+                            raise exc
+                        elif attempt <= self.retries:
+                            self.stats.retried += 1
+                            futures[pool.submit(execute_spec, spec)] = (
+                                index, spec, key, attempt + 1,
+                            )
+                        else:
+                            self._complete(
+                                index, spec, key, None, attempt,
+                                f"{type(exc).__name__}: {exc}",
+                                results, reporter,
+                            )
+        except BrokenProcessPool:
+            # A worker died hard (OOM, signal).  Finish what the pool
+            # did not, one retry each, in-process -- points must be
+            # reported, never lost.
+            leftovers += [
+                item for item in remote
+                if results[item[0]] is None
+            ]
+        self._run_serial(
+            [item for item in leftovers if results[item[0]] is None],
+            results,
+            reporter,
+        )
+
+    # -- progress -------------------------------------------------------
+    def _reporter(self, total: int):
+        if self.progress is True:
+            return ProgressReporter(total)
+        if self.progress:
+            return self.progress
+        return None
+
+    def _report(self, reporter, job: JobResult) -> None:
+        if reporter is not None:
+            reporter.update(
+                job.spec.describe(), cached=job.cached, failed=not job.ok
+            )
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    workers: Optional[int] = None,
+    cache_dir=None,
+    manifest=None,
+    retries: int = 1,
+    progress=False,
+) -> List[JobResult]:
+    """One-shot convenience wrapper around :class:`Engine`."""
+    return Engine(
+        workers=workers,
+        cache_dir=cache_dir,
+        manifest=manifest,
+        retries=retries,
+        progress=progress,
+    ).run(specs)

@@ -1,8 +1,11 @@
-"""Plain-text table rendering for experiment outputs."""
+"""Plain-text table rendering and progress reporting for experiment
+outputs."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import sys
+import time
+from typing import Iterable, List, Optional, Sequence, TextIO
 
 
 def render_table(
@@ -30,3 +33,61 @@ def _fmt(cell) -> str:
     if isinstance(cell, float):
         return f"{cell:.2f}"
     return str(cell)
+
+
+class ProgressReporter:
+    """Per-point progress lines with throughput and ETA for grid runs.
+
+    The experiment engine calls :meth:`update` once per finished grid
+    point.  Cache hits are excluded from the throughput estimate (they
+    complete in microseconds and would make the ETA wildly optimistic
+    while real points are still simulating).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[TextIO] = None,
+        label: str = "sweep",
+        clock=time.monotonic,
+    ):
+        self.total = total
+        self.stream = sys.stderr if stream is None else stream
+        self.label = label
+        self._clock = clock
+        self._start = clock()
+        self.done = 0
+        self._executed = 0
+
+    def update(
+        self, description: str, cached: bool = False, failed: bool = False
+    ) -> str:
+        """Record one finished point; returns (and prints) the line."""
+        self.done += 1
+        if not cached:
+            self._executed += 1
+        elapsed = self._clock() - self._start
+        remaining = self.total - self.done
+        if self._executed and remaining > 0:
+            eta = f"eta {_hms(elapsed / self._executed * remaining)}"
+        elif remaining > 0:
+            eta = "eta ?"
+        else:
+            eta = f"done in {_hms(elapsed)}"
+        tag = "FAIL" if failed else ("cached" if cached else "ran")
+        line = (
+            f"[{self.label} {self.done}/{self.total}] "
+            f"{description}: {tag} ({eta})"
+        )
+        if self.stream is not None:
+            print(line, file=self.stream, flush=True)
+        return line
+
+
+def _hms(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"

@@ -3,7 +3,8 @@ completion, collect the metrics the experiments report."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.machine import Machine
@@ -23,10 +24,34 @@ class RunResult:
     sync_unit_counters: Dict[str, int] = field(default_factory=dict)
     noc_counters: Dict[str, int] = field(default_factory=dict)
     workload_metrics: Dict[str, float] = field(default_factory=dict)
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    """Injector/transport/recovery counters; empty unless the machine
+    was built with a :class:`repro.faults.FaultPlan`."""
 
     def speedup_over(self, baseline: "RunResult") -> float:
         """Application speedup relative to a baseline run."""
         return baseline.cycles / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-ready; key order is field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_json(self) -> str:
+        """Serialize to JSON.  Serialization is canonical: two equal
+        results (same run replayed) produce byte-identical text, which
+        the experiment engine's result cache relies on."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
+        caches survive additive schema changes."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
 
     def describe(self) -> str:
         """Human-readable run summary: headline metrics plus the MSA,
@@ -106,4 +131,7 @@ def run_workload(
         sync_unit_counters=machine.sync_unit_counters(),
         noc_counters=dict(machine.network.stats.counters),
         workload_metrics=dict(env.metrics),
+        fault_counters=(
+            machine.fault_counters() if machine.fault_plan is not None else {}
+        ),
     )

@@ -3,18 +3,23 @@
 Experiments beyond the paper's fixed grids (sensitivity studies, new
 configurations) share the same pattern: run a cartesian grid of
 (config, workload, cores, knobs), collect :class:`RunResult` rows, and
-export them.  :func:`sweep` runs such a grid; :func:`to_csv` writes the
-rows in a flat, spreadsheet-friendly form.
+export them.  :func:`sweep` runs such a grid -- through the parallel
+:mod:`repro.harness.jobs` engine, so grids fan out across worker
+processes and repeat runs are served from the result cache;
+:func:`to_csv` writes the rows in a flat, spreadsheet-friendly form.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.common.errors import SimulationError
 from repro.harness.configs import build_machine
+from repro.harness.jobs import Engine, JobSpec
 from repro.harness.runner import RunResult, run_workload
 
 
@@ -37,20 +42,82 @@ def sweep(
     scale: float = 1.0,
     seed: int = 2015,
     machine_hook: Optional[Callable] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    manifest=None,
+    progress=False,
+    engine: Optional[Engine] = None,
 ) -> List[SweepPoint]:
     """Run every (config, workload, cores) combination.
 
     ``workload_factories`` maps name -> factory(n_threads, scale).
+    ``workers``/``cache_dir``/``manifest``/``progress`` configure the
+    :class:`repro.harness.jobs.Engine` the grid runs on (or pass a
+    pre-built ``engine``); per-point results are deterministic, so the
+    parallel path returns bit-identical results to the serial one.
+
     ``machine_hook(machine)`` runs after machine construction (for
-    enabling tracing, poking parameters, ...).
+    enabling tracing, poking parameters, ...).  Hooks see the live
+    machine, which cannot cross a process boundary or a result cache,
+    so a hooked sweep always runs serially in-process and uncached.
     """
+    if machine_hook is not None:
+        return _sweep_hooked(
+            configs, workload_factories, cores, scale, seed, machine_hook
+        )
+    specs = []
+    for n in cores:
+        for name, factory in workload_factories.items():
+            for config in configs:
+                specs.append(
+                    JobSpec(
+                        config=config,
+                        workload=name,
+                        cores=n,
+                        scale=scale,
+                        seed=seed,
+                        factory=factory,
+                    )
+                )
+    if engine is None:
+        engine = Engine(
+            workers=workers,
+            cache_dir=cache_dir,
+            manifest=manifest,
+            progress=progress,
+        )
+    points: List[SweepPoint] = []
+    failures: List[str] = []
+    for job in engine.run(specs):
+        if not job.ok:
+            failures.append(f"{job.spec.describe()}: {job.error}")
+            continue
+        points.append(
+            SweepPoint(
+                config=job.spec.config,
+                workload=job.spec.workload,
+                n_cores=job.spec.cores,
+                scale=job.spec.scale,
+                result=job.result,
+            )
+        )
+    if failures:
+        raise SimulationError(
+            "sweep points failed after retries: " + "; ".join(failures)
+        )
+    return points
+
+
+def _sweep_hooked(
+    configs, workload_factories, cores, scale, seed, machine_hook
+) -> List[SweepPoint]:
+    """Legacy in-process path for sweeps with a machine hook."""
     points: List[SweepPoint] = []
     for n in cores:
         for name, factory in workload_factories.items():
             for config in configs:
                 machine = build_machine(config, n_cores=n, seed=seed)
-                if machine_hook is not None:
-                    machine_hook(machine)
+                machine_hook(machine)
                 result = run_workload(machine, factory(n, scale), config=config)
                 points.append(
                     SweepPoint(
@@ -74,40 +141,64 @@ def add_speedups(points: List[SweepPoint], baseline_config: str) -> None:
     }
     for p in points:
         base = baselines.get((p.workload, p.n_cores))
-        if base:
-            p.extras["speedup"] = base / p.result.cycles
+        if base is None:
+            continue
+        if base == 0 or p.result.cycles == 0:
+            warnings.warn(
+                f"speedup undefined for ({p.workload}, {p.config}, "
+                f"{p.n_cores} cores): "
+                + (
+                    f"baseline {baseline_config!r} ran for 0 cycles"
+                    if base == 0
+                    else "point ran for 0 cycles"
+                ),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        p.extras["speedup"] = base / p.result.cycles
 
 
-CSV_COLUMNS = (
+BASE_COLUMNS = (
     "config",
     "workload",
     "n_cores",
     "scale",
     "cycles",
     "msa_coverage",
-    "speedup",
 )
+
+#: Legacy alias (pre-dates dynamic extras columns).
+CSV_COLUMNS = BASE_COLUMNS + ("speedup",)
 
 
 def to_csv(points: Iterable[SweepPoint], path: Optional[str] = None) -> str:
     """Serialize sweep points to CSV; returns the text (and writes to
-    ``path`` when given)."""
+    ``path`` when given).
+
+    Columns are :data:`BASE_COLUMNS` followed by *every* extras key seen
+    across the points (sorted), so annotations beyond ``speedup`` --
+    sensitivity knobs, derived metrics -- survive the round trip.
+    """
+    points = list(points)
+    extra_keys = sorted({k for p in points for k in p.extras})
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
-    writer.writerow(CSV_COLUMNS)
+    writer.writerow(list(BASE_COLUMNS) + extra_keys)
     for p in points:
         coverage = p.result.msa_coverage
-        writer.writerow(
-            [
-                p.config,
-                p.workload,
-                p.n_cores,
-                p.scale,
-                p.result.cycles,
-                f"{coverage:.4f}" if coverage is not None else "",
-                f"{p.extras['speedup']:.4f}" if "speedup" in p.extras else "",
-            ]
-        )
+        row = [
+            p.config,
+            p.workload,
+            p.n_cores,
+            p.scale,
+            p.result.cycles,
+            f"{coverage:.4f}" if coverage is not None else "",
+        ]
+        for key in extra_keys:
+            value = p.extras.get(key)
+            row.append(f"{value:.4f}" if value is not None else "")
+        writer.writerow(row)
     text = buffer.getvalue()
     if path is not None:
         with open(path, "w") as f:

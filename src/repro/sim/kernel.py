@@ -187,14 +187,17 @@ class Simulator:
             if until is not None and when > until:
                 self.now = until
                 return self.now
+            if max_events is not None and events_this_run >= max_events:
+                # Checked before the pop so exactly max_events events run;
+                # the offending event stays queued and events_processed
+                # counts only executed events.
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at cycle {self.now}"
+                )
             heapq.heappop(self._heap)
             self.now = when
             self._events_processed += 1
             events_this_run += 1
-            if max_events is not None and events_this_run > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at cycle {self.now}"
-                )
             callback()
         return self.now
 

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.harness.sweep import add_speedups, from_csv, sweep, to_csv
+from repro.harness.runner import RunResult
+from repro.harness.sweep import (
+    SweepPoint,
+    add_speedups,
+    from_csv,
+    sweep,
+    to_csv,
+)
 from repro.workloads.kernels import KERNELS
 
 
@@ -55,3 +62,65 @@ class TestCsv:
         by_config = {r["config"]: r for r in rows}
         assert by_config["pthread"]["msa_coverage"] == ""
         assert float(by_config["msa-omu-2"]["msa_coverage"]) > 0
+
+    def test_all_extras_become_columns(self, points):
+        points[0].extras["noc_sensitivity"] = 2.5
+        try:
+            rows = from_csv(to_csv(points))
+        finally:
+            del points[0].extras["noc_sensitivity"]
+        header_extras = {
+            k for k in rows[0] if k not in (
+                "config", "workload", "n_cores", "scale", "cycles",
+                "msa_coverage",
+            )
+        }
+        assert header_extras == {"speedup", "noc_sensitivity"}
+        assert float(rows[0]["noc_sensitivity"]) == 2.5
+        # Points without that extra get a blank cell, not a crash.
+        assert rows[1]["noc_sensitivity"] == ""
+
+
+def _point(config, cycles, workload="w", n_cores=16):
+    return SweepPoint(
+        config=config,
+        workload=workload,
+        n_cores=n_cores,
+        scale=1.0,
+        result=RunResult(config, workload, n_cores, cycles, None),
+    )
+
+
+class TestAddSpeedups:
+    def test_zero_cycle_baseline_warns_instead_of_silently_dropping(self):
+        points = [_point("base", 0), _point("fast", 100)]
+        with pytest.warns(RuntimeWarning, match="0 cycles"):
+            add_speedups(points, baseline_config="base")
+        assert "speedup" not in points[1].extras
+
+    def test_zero_cycle_point_warns(self):
+        points = [_point("base", 100), _point("fast", 0)]
+        with pytest.warns(RuntimeWarning, match="0 cycles"):
+            add_speedups(points, baseline_config="base")
+        assert "speedup" not in points[1].extras
+
+    def test_missing_baseline_grid_point_is_skipped_quietly(self):
+        points = [
+            _point("base", 100, n_cores=16),
+            _point("fast", 50, n_cores=64),
+        ]
+        add_speedups(points, baseline_config="base")
+        assert "speedup" not in points[1].extras
+
+
+class TestRunResultJson:
+    def test_round_trip(self, points):
+        result = points[0].result
+        clone = RunResult.from_json(result.to_json())
+        assert clone == result
+        assert clone.to_json() == result.to_json()
+
+    def test_unknown_keys_ignored(self):
+        result = RunResult("c", "w", 16, 100, None)
+        blob = result.to_json().replace("{", '{"future_field": 1, ', 1)
+        assert RunResult.from_json(blob) == result
