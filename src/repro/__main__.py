@@ -4,10 +4,17 @@ One dispatcher for every experiment driver plus ad-hoc grids through
 the parallel engine::
 
     python -m repro fig6 --cores 16 64 --scale 0.5 --workers 8
-    python -m repro chaos --cores 16
+    python -m repro chaos --cores 16 --check
+    python -m repro run --config msa-omu-2 --workload streamcluster --check
+    python -m repro verify --selftest
+    python -m repro verify --workload fluidanimate --config msa-omu-2
     python -m repro sweep --configs pthread msa-omu-2 \\
         --workloads canneal swaptions --workers 4 --csv out.csv
     python -m repro all --workers 8 --cache-dir ~/.cache/repro
+
+``--check`` (on run/sweep/chaos) attaches every :mod:`repro.verify`
+invariant monitor to each simulation; ``verify`` is the checker-first
+entry point (structured report, exit status by verdict).
 
 Engine flags are shared by every command: ``--workers`` fans grid
 points out across processes, ``--cache-dir`` enables the
@@ -25,7 +32,9 @@ from typing import List, Optional
 from repro.harness import experiments
 
 FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
-COMMANDS = ("table1",) + FIGURES + ("headline", "chaos", "sweep", "all")
+COMMANDS = ("table1",) + FIGURES + (
+    "headline", "chaos", "run", "verify", "sweep", "all",
+)
 
 
 def _engine_kwargs(args) -> dict:
@@ -61,16 +70,96 @@ def _dispatch(name: str, args) -> object:
             n_cores=max(args.cores), scale=args.scale, **engine
         )
     if name == "chaos":
+        from repro.verify import DEFAULT_MONITORS
+
         return experiments.chaos(
-            n_cores=min(args.cores), scale=args.scale, **engine
+            n_cores=min(args.cores),
+            scale=args.scale,
+            checkers=DEFAULT_MONITORS if getattr(args, "check", False) else (),
+            **engine,
         )
     raise ValueError(f"unknown command {name!r}")
+
+
+def _run_one(args) -> int:
+    from repro import api
+
+    result = api.run(
+        args.config,
+        args.workload,
+        cores=args.cores[0] if isinstance(args.cores, list) else args.cores,
+        seed=args.seed,
+        scale=args.scale,
+        checkers=True if args.check else (),
+        raise_violations=False,
+    )
+    print(result.describe())
+    if result.check_report is not None and not result.check_report["ok"]:
+        from repro.verify import CheckReport
+
+        print(CheckReport.from_dict(result.check_report).describe())
+        return 1
+    return 0
+
+
+def _run_verify(args) -> int:
+    from repro.verify import (
+        CheckReport,
+        DEFAULT_MONITORS,
+        differential,
+        run_selftest,
+    )
+
+    if args.selftest:
+        report = run_selftest(print_out=True)
+        caught = any(
+            v.invariant == "mutual-exclusion" for v in report.violations
+        )
+        return 0 if caught else 1
+    if args.differential:
+        diff = differential(
+            workload=args.workload or "streamcluster",
+            cores=args.cores[0] if isinstance(args.cores, list) else args.cores,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        print(diff.describe())
+        return 0 if diff.ok else 1
+
+    from repro import api
+
+    machine = api.build(
+        args.config,
+        cores=args.cores[0] if isinstance(args.cores, list) else args.cores,
+        seed=args.seed,
+    )
+    if args.trace:
+        machine.tracer.enable("msa", "sched", "sync", "retry", "degrade")
+    monitors = tuple(args.monitors) if args.monitors else DEFAULT_MONITORS
+    result = api.run(
+        machine,
+        args.workload or "streamcluster",
+        scale=args.scale,
+        checkers=monitors,
+        raise_violations=False,
+    )
+    report = CheckReport.from_dict(result.check_report)
+    print(report.describe())
+    if args.trace:
+        machine.tracer.to_jsonl(args.trace)
+        print(f"wrote trace to {args.trace}")
+    return 0 if report.ok else 1
 
 
 def _run_sweep(args) -> int:
     from repro import api
     from repro.harness.sweep import add_speedups, to_csv
 
+    checkers = ()
+    if args.check:
+        from repro.verify import DEFAULT_MONITORS
+
+        checkers = DEFAULT_MONITORS
     points, stats = api.sweep(
         configs=args.configs,
         workloads=args.workloads,
@@ -82,6 +171,7 @@ def _run_sweep(args) -> int:
         manifest=args.manifest,
         progress=args.progress,
         return_stats=True,
+        checkers=checkers,
     )
     if args.baseline:
         add_speedups(points, baseline_config=args.baseline)
@@ -127,6 +217,55 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--csv", default=None, help="also write fig6 grid to this CSV"
             )
+        if name in ("chaos", "all"):
+            p.add_argument(
+                "--check",
+                action="store_true",
+                help="attach every invariant monitor to each point",
+            )
+
+    p = sub.add_parser(
+        "run", help="run one (config, workload) point and print its summary"
+    )
+    add_common(p, cores_default=[16])
+    p.add_argument("--config", default="msa-omu-2")
+    p.add_argument("--workload", default="streamcluster")
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="attach every invariant monitor; non-zero exit on violations",
+    )
+
+    p = sub.add_parser(
+        "verify",
+        help="invariant-checked run / checker selftest / differential oracle",
+    )
+    add_common(p, cores_default=[16])
+    p.add_argument("--config", default="msa-omu-2")
+    p.add_argument("--workload", default=None)
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--monitors",
+        nargs="+",
+        default=None,
+        help="monitor names to attach (default: all)",
+    )
+    p.add_argument(
+        "--selftest",
+        action="store_true",
+        help="prove the checkers catch a deliberately broken lock",
+    )
+    p.add_argument(
+        "--differential",
+        action="store_true",
+        help="cross-check sync outcomes across MSA/pthread/ideal configs",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        help="also write the machine trace (JSONL) to this path",
+    )
 
     p = sub.add_parser(
         "sweep", help="ad-hoc grid through the parallel engine"
@@ -144,11 +283,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--manifest", default=None, help="resumable-sweep manifest path")
     p.add_argument("--csv", default=None, help="write results to this CSV path")
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="attach every invariant monitor to each point",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run_one(args)
+    if args.command == "verify":
+        return _run_verify(args)
     if args.command == "sweep":
         return _run_sweep(args)
     names = (

@@ -87,6 +87,8 @@ def run(
     max_events: Optional[int] = 50_000_000,
     check: bool = True,
     fault_plan=None,
+    checkers=(),
+    raise_violations: bool = True,
     **params,
 ) -> RunResult:
     """Run one workload to completion and return its :class:`RunResult`.
@@ -96,6 +98,12 @@ def run(
     parameter overrides).  ``workload`` is a :class:`Workload` instance,
     a registry name (kernels or microbenches), or a factory callable
     ``factory(cores[, scale])``.
+
+    ``checkers`` attaches :mod:`repro.verify` invariant monitors
+    (``True`` = all, or a sequence of monitor names); the finalized
+    report lands on ``result.check_report`` and violations raise
+    :class:`~repro.common.errors.InvariantViolation` unless
+    ``raise_violations`` is false.
     """
     if isinstance(machine_or_config, Machine):
         machine = machine_or_config
@@ -127,6 +135,8 @@ def run(
         max_events=max_events,
         check=check,
         config=config if isinstance(machine_or_config, str) else "",
+        checkers=checkers,
+        raise_violations=raise_violations,
     )
 
 
@@ -142,6 +152,7 @@ def sweep(
     progress=False,
     machine_hook: Optional[Callable] = None,
     return_stats: bool = False,
+    checkers: Sequence[str] = (),
 ) -> Union[List[SweepPoint], Tuple[List[SweepPoint], EngineStats]]:
     """Run a (config x workload x cores) grid through the engine.
 
@@ -167,6 +178,7 @@ def sweep(
         seed=seed,
         machine_hook=machine_hook,
         engine=engine if machine_hook is None else None,
+        checkers=tuple(checkers),
     )
     if return_stats:
         return points, engine.stats

@@ -31,5 +31,22 @@ class ProtocolError(SimulationError):
     """A coherence/MSA protocol invariant was violated."""
 
 
+class InvariantViolation(SimulationError):
+    """A :mod:`repro.verify` monitor observed an invariant violation.
+
+    Carries the structured :class:`repro.verify.report.Violation` (with
+    the invariant name, address, threads, cycle window, and the relevant
+    trace slice) plus, when available, the whole
+    :class:`repro.verify.report.CheckReport` for post-mortem inspection.
+    """
+
+    def __init__(self, violation, report=None):
+        self.violation = violation
+        self.report = report
+        super().__init__(
+            violation.describe() if hasattr(violation, "describe") else str(violation)
+        )
+
+
 class WorkloadError(ReproError):
     """A workload misused the runtime API (e.g. unlock of a free lock)."""

@@ -429,12 +429,18 @@ def chaos(
     workers: Optional[int] = None,
     cache_dir=None,
     progress=False,
+    checkers: Sequence[str] = (),
 ) -> Dict:
     """Sweep NoC drop probability over sync-heavy kernels and report the
     cost of recovery: completion, slowdown over the fault-free run,
     coverage, and the retry/retransmission work the fault plane did.
     Every run must complete correctly -- the workloads' own validation
-    hooks run at each point."""
+    hooks run at each point.
+
+    ``checkers`` attaches :mod:`repro.verify` invariant monitors to
+    every point (``python -m repro chaos --check``): injected faults
+    must be fully masked by the recovery machinery, so a checked chaos
+    sweep demands *zero* violations even at 20% drop rates."""
     from repro.faults import drop_plan
 
     grid = [(app, rate) for app in apps for rate in drop_rates]
@@ -445,6 +451,7 @@ def chaos(
             cores=n_cores,
             scale=scale,
             fault_plan=drop_plan(rate, seed=1) if rate else None,
+            checkers=tuple(checkers),
         )
         for app, rate in grid
     ]
@@ -465,6 +472,11 @@ def chaos(
             "retries": fc.get("retries", 0),
             "timeouts": fc.get("timeouts", 0),
             "degraded_tiles": fc.get("degraded_tiles", 0),
+            "violations": (
+                len(run.check_report.get("violations", []))
+                if run.check_report is not None
+                else None
+            ),
         }
     if failures:
         raise SimulationError(

@@ -45,7 +45,7 @@ from repro.harness.report import ProgressReporter
 from repro.harness.runner import RunResult
 
 #: Bump to invalidate every existing cache entry (schema changes).
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 DEFAULT_MAX_EVENTS = 50_000_000
 
@@ -72,6 +72,11 @@ class JobSpec:
     params: Dict[str, Any] = field(default_factory=dict)
     max_events: Optional[int] = DEFAULT_MAX_EVENTS
     check: bool = True
+    checkers: Tuple[str, ...] = ()
+    """Invariant monitors to attach (:data:`repro.verify.MONITORS`
+    names); empty disables checking.  Part of the cache key: a checked
+    run records its :class:`CheckReport` in the cached result."""
+
     fault_plan: Any = None
     factory: Optional[Callable] = field(default=None, repr=False, compare=False)
     """Explicit workload factory; optional.  Not part of the cache key
@@ -107,6 +112,7 @@ class JobSpec:
             "seed": self.seed,
             "max_events": self.max_events,
             "check": self.check,
+            "checkers": list(self.checkers),
             "library": library,
             "machine": params.to_dict(),
             "fault_plan": (
@@ -177,6 +183,7 @@ def execute_spec(spec: JobSpec) -> RunResult:
         max_events=spec.max_events,
         check=spec.check,
         config=spec.config,
+        checkers=spec.checkers,
     )
 
 

@@ -28,6 +28,11 @@ class RunResult:
     """Injector/transport/recovery counters; empty unless the machine
     was built with a :class:`repro.faults.FaultPlan`."""
 
+    check_report: Optional[Dict] = None
+    """Serialized :class:`repro.verify.CheckReport` when the run was
+    checked (``checkers=...``); ``None`` on unchecked runs.  Rehydrate
+    with ``CheckReport.from_dict(result.check_report)``."""
+
     def speedup_over(self, baseline: "RunResult") -> float:
         """Application speedup relative to a baseline run."""
         return baseline.cycles / self.cycles if self.cycles else 0.0
@@ -92,6 +97,13 @@ class RunResult:
         sent = self.noc_counters.get("messages_sent", 0)
         if sent:
             lines.append(f"  NoC messages         : {sent:,}")
+        if self.check_report is not None:
+            lines.append(
+                f"  checkers             : "
+                f"{'ok' if self.check_report.get('ok') else 'VIOLATIONS'} "
+                f"({len(self.check_report.get('violations', []))} violations, "
+                f"{len(self.check_report.get('races', []))} race reports)"
+            )
         for key, value in sorted(self.workload_metrics.items()):
             lines.append(f"  {key:<21}: {value:,.1f}")
         return "\n".join(lines)
@@ -103,12 +115,30 @@ def run_workload(
     max_events: Optional[int] = 50_000_000,
     check: bool = True,
     config: str = "",
+    checkers=(),
+    raise_violations: bool = True,
 ) -> RunResult:
     """Run ``workload`` on ``machine`` to completion.
 
     With ``check`` (default), the workload's validation hook and the
     machine's protocol invariants are verified after the run.
+
+    ``checkers`` attaches a :mod:`repro.verify` suite before spawning
+    threads: ``True`` for every monitor, or a sequence of monitor names
+    (see :data:`repro.verify.MONITORS`).  The finalized report rides on
+    ``RunResult.check_report``; violations raise
+    :class:`~repro.common.errors.InvariantViolation` unless
+    ``raise_violations`` is false.  If the run itself dies (deadlock,
+    event-budget exhaustion), the suite is still finalized and the
+    report is attached to the propagating exception, so the invariant
+    evidence that explains a hang is never lost.
     """
+    suite = None
+    if checkers is True or checkers:
+        if machine.checker_suite is not None:
+            suite = machine.checker_suite
+        else:
+            suite = machine.attach_checkers(monitors=checkers)
     env = WorkloadEnv(machine)
     workload.setup(env)
     for index, body in enumerate(workload.thread_bodies(env)):
@@ -117,10 +147,19 @@ def run_workload(
         machine.sim.process(
             workload.controller(env), name=f"{workload.name}.controller"
         )
-    cycles = machine.run(max_events=max_events)
+    try:
+        cycles = machine.run(max_events=max_events)
+    except Exception as exc:
+        if suite is not None:
+            exc.check_report = suite.finalize(raise_on_violation=False)
+        raise
     if check:
         machine.check_invariants()
         workload.validate(env)
+    check_report = None
+    if suite is not None:
+        report = suite.finalize(raise_on_violation=raise_violations)
+        check_report = report.to_dict()
     return RunResult(
         config=config or machine.library_name,
         workload=workload.name,
@@ -134,4 +173,5 @@ def run_workload(
         fault_counters=(
             machine.fault_counters() if machine.fault_plan is not None else {}
         ),
+        check_report=check_report,
     )

@@ -47,6 +47,7 @@ def sweep(
     manifest=None,
     progress=False,
     engine: Optional[Engine] = None,
+    checkers: Sequence[str] = (),
 ) -> List[SweepPoint]:
     """Run every (config, workload, cores) combination.
 
@@ -63,7 +64,8 @@ def sweep(
     """
     if machine_hook is not None:
         return _sweep_hooked(
-            configs, workload_factories, cores, scale, seed, machine_hook
+            configs, workload_factories, cores, scale, seed, machine_hook,
+            checkers,
         )
     specs = []
     for n in cores:
@@ -77,6 +79,7 @@ def sweep(
                         scale=scale,
                         seed=seed,
                         factory=factory,
+                        checkers=tuple(checkers),
                     )
                 )
     if engine is None:
@@ -109,7 +112,8 @@ def sweep(
 
 
 def _sweep_hooked(
-    configs, workload_factories, cores, scale, seed, machine_hook
+    configs, workload_factories, cores, scale, seed, machine_hook,
+    checkers=(),
 ) -> List[SweepPoint]:
     """Legacy in-process path for sweeps with a machine hook."""
     points: List[SweepPoint] = []
@@ -118,7 +122,10 @@ def _sweep_hooked(
             for config in configs:
                 machine = build_machine(config, n_cores=n, seed=seed)
                 machine_hook(machine)
-                result = run_workload(machine, factory(n, scale), config=config)
+                result = run_workload(
+                    machine, factory(n, scale), config=config,
+                    checkers=tuple(checkers),
+                )
                 points.append(
                     SweepPoint(
                         config=config,

@@ -41,6 +41,12 @@ class Machine:
         from repro.sim.trace import Tracer
 
         self.tracer = Tracer(self.sim)
+        self.probe = None
+        """Checker event bus (:class:`repro.verify.events.Probe`);
+        ``None`` until :meth:`attach_checkers` wires a suite in, so the
+        un-checked hot path pays one attribute test per call site."""
+
+        self.checker_suite = None
         self.rng = DeterministicRng(params.seed, "machine")
         self.network = Network(self.sim, params.n_cores, params.noc)
 
@@ -148,6 +154,13 @@ class Machine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def attach_checkers(self, monitors=True, fail_fast: bool = False):
+        """Attach a :class:`repro.verify.CheckerSuite` (all monitors by
+        default) to this machine; see :func:`repro.verify.attach_checkers`."""
+        from repro.verify import attach_checkers
+
+        return attach_checkers(self, monitors, fail_fast=fail_fast)
+
     def run(self, max_events: Optional[int] = None, until: Optional[int] = None) -> int:
         """Drain the simulation; raises DeadlockError if threads hang."""
         cycles = self.sim.run(until=until, max_events=max_events)

@@ -12,6 +12,17 @@ Aliasing (distinct addresses sharing a counter) can only steer an
 operation to software -- a performance effect, never a correctness one.
 A counting-Bloom-filter variant reduces aliasing with the same safety
 property (no false "inactive" reports).
+
+Saturation is the one place an untagged saturating counter could lie
+dangerously: once a counter pins at ``counter_max``, further increments
+are lost, so letting later decrements walk it back down would reach
+zero while software activity is still live -- a false "inactive" that
+lets the MSA allocate an entry *over* a live software lock.  The unit
+therefore makes saturation *sticky*: a counter that ever saturates
+holds at ``counter_max`` (decrements are absorbed and counted) until
+:meth:`reset` explicitly drains the unit.  Sticky saturation is purely
+conservative -- aliased addresses are steered to software forever after,
+a performance cost, never a safety one.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ class OverflowManagementUnit:
         self.params = params
         self.stats = stats
         self._counters: List[int] = [0] * params.n_counters
+        self._saturated: List[bool] = [False] * params.n_counters
         self._line_shift = line_shift
 
     def _indices(self, addr: Address) -> List[int]:
@@ -46,14 +58,26 @@ class OverflowManagementUnit:
         """A thread's operation on ``addr`` fell back to software."""
         self.stats.counter("omu_increments").inc(amount)
         for i in self._indices(addr):
-            self._counters[i] = min(
-                self.params.counter_max, self._counters[i] + amount
-            )
+            if self._counters[i] + amount > self.params.counter_max:
+                # Increments are being lost: the counter can no longer
+                # account for every live software thread, so it must
+                # never read zero again until an explicit drain.
+                if not self._saturated[i]:
+                    self._saturated[i] = True
+                    self.stats.counter("omu_saturations").inc()
+                self._counters[i] = self.params.counter_max
+            else:
+                self._counters[i] += amount
 
     def decrement(self, addr: Address, amount: int = 1) -> None:
         """A software-side operation on ``addr`` completed."""
         self.stats.counter("omu_decrements").inc(amount)
         for i in self._indices(addr):
+            if self._saturated[i]:
+                # Sticky: this counter under-counted at least once, so a
+                # decrement cannot prove anything -- hold at the ceiling.
+                self.stats.counter("omu_sticky_holds").inc()
+                continue
             if self._counters[i] < amount:
                 # Legal programs never underflow; tolerate (and count)
                 # misuse the way saturating hardware would.
@@ -62,9 +86,21 @@ class OverflowManagementUnit:
             else:
                 self._counters[i] -= amount
 
+    def reset(self) -> None:
+        """Explicit drain (object-destroy / quiescence): clears every
+        counter *and* every sticky-saturation flag -- the only legal way
+        a saturated counter returns to service."""
+        self.stats.counter("omu_resets").inc()
+        self._counters = [0] * self.params.n_counters
+        self._saturated = [False] * self.params.n_counters
+
     @property
     def total(self) -> int:
         return sum(self._counters)
+
+    def saturated_counters(self) -> int:
+        """How many counters are currently sticky-saturated."""
+        return sum(self._saturated)
 
     def snapshot(self) -> List[int]:
         return list(self._counters)

@@ -76,6 +76,10 @@ class MSASlice:
         self.dead = False
         """Fail-stop flag: a killed slice ignores every message."""
 
+        self.probe = None
+        """Checker event bus (:mod:`repro.verify`); ``None`` keeps the
+        hot path to a single attribute test, like ``tracer``."""
+
         # Fault machinery; inert until arm_faults() (fault-plan builds).
         self._injector = None
         self._plane = None
@@ -242,6 +246,8 @@ class MSASlice:
         self.dead = True
         self.stats.counter("killed").inc()
         self._trace("killed")
+        if self.probe is not None:
+            self.probe.emit("msa_kill", tile=self.tile)
         for entry in list(self.entries.values()):
             if entry.sync_type is not SyncType.CONDVAR:
                 continue
@@ -276,10 +282,18 @@ class MSASlice:
     def _omu_increment(self, addr: Address, amount: int = 1) -> None:
         if self.omu_params.enabled:
             self.omu.increment(addr, amount)
+            if self.probe is not None:
+                self.probe.emit(
+                    "omu_inc", addr=addr, aux=amount, tile=self.tile
+                )
 
     def _omu_decrement(self, addr: Address, amount: int = 1) -> None:
         if self.omu_params.enabled:
             self.omu.decrement(addr, amount)
+            if self.probe is not None:
+                self.probe.emit(
+                    "omu_dec", addr=addr, aux=amount, tile=self.tile
+                )
 
     def _omu_active(self, addr: Address) -> bool:
         return self.omu_params.enabled and self.omu.is_active(addr)
@@ -320,6 +334,13 @@ class MSASlice:
         self.entries[addr] = entry
         self.stats.counter("entries_allocated").inc()
         self._trace("allocate", sync_type.value, f"addr={addr:#x}")
+        if self.probe is not None:
+            self.probe.emit(
+                "msa_alloc",
+                addr=addr,
+                aux=(sync_type.value, len(self.entries)),
+                tile=self.tile,
+            )
         return entry
 
     def _defer_on_reclaim(self, replay) -> bool:
@@ -341,6 +362,21 @@ class MSASlice:
                 return True
         return False
 
+    def _drop_entry(
+        self,
+        addr: Address,
+        reason: str,
+        counter: Optional[str] = "entries_freed",
+    ) -> None:
+        """Single exit point for entry deallocation: delete, count, and
+        tell the checker probe why (the entry-conservation monitor
+        balances allocations against these)."""
+        del self.entries[addr]
+        if counter is not None:
+            self.stats.counter(counter).inc()
+        if self.probe is not None:
+            self.probe.emit("msa_free", addr=addr, aux=reason, tile=self.tile)
+
     def _maybe_free(self, entry: MSAEntry) -> None:
         if not self.omu_params.enabled:
             # "Without OMU" model (Figure 7): entries are only
@@ -354,8 +390,7 @@ class MSASlice:
             # predictor); they cost nothing -- allocation evicts them
             # instantly on demand, no revoke needed.
             return
-        del self.entries[entry.addr]
-        self.stats.counter("entries_freed").inc()
+        self._drop_entry(entry.addr, "idle")
 
     def _evict_one_evictable(self) -> bool:
         """Free one instantly-evictable entry to make room; returns
@@ -365,8 +400,7 @@ class MSASlice:
             return False
         for entry in self.entries.values():
             if entry.evictable():
-                del self.entries[entry.addr]
-                self.stats.counter("entries_evicted").inc()
+                self._drop_entry(entry.addr, "evict", counter="entries_evicted")
                 return True
         return False
 
@@ -635,8 +669,7 @@ class MSASlice:
             self._respond(wcore, wreq, SyncResult.ABORT, entry.addr)
         if aborted:
             self._omu_increment(entry.addr, len(aborted))
-        del self.entries[entry.addr]
-        self.stats.counter("entries_freed").inc()
+        self._drop_entry(entry.addr, "migrated_unlock")
 
     def _handle_silent(self, addr: Address, core: CoreId) -> None:
         """LOCK_SILENT: requester ``core`` re-acquired the lock through
@@ -851,8 +884,7 @@ class MSASlice:
         failed = list(entry.waiters.items())
         entry.waiters.clear()
         entry.reserved = False
-        del self.entries[cond_addr]
-        self.stats.counter("cond_reserve_failures").inc()
+        self._drop_entry(cond_addr, "reserve_fail", counter="cond_reserve_failures")
         for core, req_id in failed:
             self._omu_increment(cond_addr)
             self._respond(core, req_id, SyncResult.FAIL, cond_addr)
@@ -922,8 +954,7 @@ class MSASlice:
                 unpin=last and frees_entry,
             )
         if frees_entry:
-            del self.entries[addr]
-            self.stats.counter("entries_freed").inc()
+            self._drop_entry(addr, "cond_drain")
 
     def _handle_lock_onbehalf(
         self, lock_addr: Address, waiter: CoreId, req_id: int, unpin: bool
@@ -994,8 +1025,7 @@ class MSASlice:
                     "msa.unpin",
                     lock_addr=entry.cond_lock_addr,
                 )
-                del self.entries[addr]
-                self.stats.counter("entries_freed").inc()
+                self._drop_entry(addr, "cond_suspend")
 
     # ------------------------------------------------------------------
     # Introspection for tests and invariant checks

@@ -42,6 +42,11 @@ class Network:
         """Optional :class:`repro.faults.ReliableTransport` carrying
         ``msa.*``/``msa_cpu.*`` traffic exactly-once and in order."""
 
+        self.probe = None
+        """Optional checker event bus (:mod:`repro.verify`): every
+        dispatched message is reported so the NoC-conservation monitor
+        can check per-channel delivery order online."""
+
     def register(self, tile: TileId, prefix: str, handler: Handler) -> None:
         """Register the receiver for messages whose kind starts with
         ``prefix`` (e.g. ``"coh"`` or ``"msa"``) at ``tile``."""
@@ -106,6 +111,13 @@ class Network:
             )
         self.stats.counter("messages_delivered").inc()
         self.stats.histogram("latency").add(self.sim.now - message.injected_at)
+        if self.probe is not None:
+            self.probe.emit(
+                "noc_deliver",
+                tid=message.src,
+                tile=message.dst,
+                aux=(message.kind, message.rel_seq),
+            )
         handler(message)
 
     def round_trip_estimate(self, src: TileId, dst: TileId) -> int:

@@ -59,6 +59,15 @@ class ThreadCtx:
         self.sim: Simulator = machine.sim
         self.thread = thread
         self.stats = StatSet(f"thread.{thread.tid}")
+        self._probe = getattr(machine, "probe", None)
+        """Checker event bus; ``None`` (the common case) keeps every
+        operation on the original no-probe path."""
+
+        self._sync_depth = 0
+        """Nesting depth inside sync-library calls: memory operations
+        performed by lock/barrier/condvar *internals* (futexes, MCS
+        queues) are implementation detail, not workload shared state,
+        and must not feed the race detector."""
 
     # ------------------------------------------------------------------
     # Identity
@@ -85,17 +94,26 @@ class ThreadCtx:
     def load(self, addr: Address) -> Generator:
         value = yield self.machine.memory_system(self.core).load(addr)
         yield from self._absorb_suspension()
+        probe = self._probe
+        if probe is not None and probe.mem_active and not self._sync_depth:
+            probe.emit("mem_read", tid=self.tid, addr=addr)
         return value
 
     def store(self, addr: Address, value: int) -> Generator:
         yield self.machine.memory_system(self.core).store(addr, value)
         yield from self._absorb_suspension()
+        probe = self._probe
+        if probe is not None and probe.mem_active and not self._sync_depth:
+            probe.emit("mem_write", tid=self.tid, addr=addr)
         return None
 
     def rmw(self, addr: Address, fn) -> Generator:
         """Atomic read-modify-write; returns the old value."""
         old = yield self.machine.memory_system(self.core).rmw(addr, fn)
         yield from self._absorb_suspension()
+        probe = self._probe
+        if probe is not None and probe.mem_active and not self._sync_depth:
+            probe.emit("mem_atomic", tid=self.tid, addr=addr)
         return old
 
     def fetch_add(self, addr: Address, delta: int = 1) -> Generator:
@@ -164,20 +182,71 @@ class ThreadCtx:
     # ------------------------------------------------------------------
     # High-level synchronization API (delegates to the machine's library)
     # ------------------------------------------------------------------
+    # These wrappers are the checker probe's thread-level vantage point:
+    # one call site per operation covers the hardware fast path, the
+    # software fallback, and every recovery/retry flavor in between.
+    def _guarded(self, op) -> Generator:
+        self._sync_depth += 1
+        try:
+            yield from op
+        finally:
+            self._sync_depth -= 1
+
     def lock(self, addr: Address) -> Generator:
-        yield from self.machine.sync_library.lock(self, addr)
+        probe = self._probe
+        if probe is None:
+            yield from self.machine.sync_library.lock(self, addr)
+            return
+        probe.emit("lock_req", tid=self.tid, addr=addr)
+        yield from self._guarded(self.machine.sync_library.lock(self, addr))
+        probe.emit("lock_acq", tid=self.tid, addr=addr)
 
     def unlock(self, addr: Address) -> Generator:
-        yield from self.machine.sync_library.unlock(self, addr)
+        probe = self._probe
+        if probe is None:
+            yield from self.machine.sync_library.unlock(self, addr)
+            return
+        probe.emit("lock_rel", tid=self.tid, addr=addr)
+        yield from self._guarded(self.machine.sync_library.unlock(self, addr))
 
     def barrier(self, addr: Address, goal: int) -> Generator:
-        yield from self.machine.sync_library.barrier(self, addr, goal)
+        probe = self._probe
+        if probe is None:
+            yield from self.machine.sync_library.barrier(self, addr, goal)
+            return
+        probe.emit("barrier_enter", tid=self.tid, addr=addr, aux=goal)
+        yield from self._guarded(
+            self.machine.sync_library.barrier(self, addr, goal)
+        )
+        probe.emit("barrier_exit", tid=self.tid, addr=addr, aux=goal)
 
     def cond_wait(self, cond: Address, lock: Address) -> Generator:
-        yield from self.machine.sync_library.cond_wait(self, cond, lock)
+        probe = self._probe
+        if probe is None:
+            yield from self.machine.sync_library.cond_wait(self, cond, lock)
+            return
+        probe.emit("cond_wait_begin", tid=self.tid, addr=cond, aux=lock)
+        yield from self._guarded(
+            self.machine.sync_library.cond_wait(self, cond, lock)
+        )
+        probe.emit("cond_wait_end", tid=self.tid, addr=cond, aux=lock)
 
     def cond_signal(self, cond: Address) -> Generator:
+        probe = self._probe
+        if probe is not None:
+            probe.emit("cond_signal", tid=self.tid, addr=cond, aux=0)
+            yield from self._guarded(
+                self.machine.sync_library.cond_signal(self, cond)
+            )
+            return
         yield from self.machine.sync_library.cond_signal(self, cond)
 
     def cond_broadcast(self, cond: Address) -> Generator:
+        probe = self._probe
+        if probe is not None:
+            probe.emit("cond_signal", tid=self.tid, addr=cond, aux=1)
+            yield from self._guarded(
+                self.machine.sync_library.cond_broadcast(self, cond)
+            )
+            return
         yield from self.machine.sync_library.cond_broadcast(self, cond)

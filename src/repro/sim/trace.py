@@ -20,6 +20,7 @@ declared dead, orphan-lock recovery).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -94,9 +95,81 @@ class Tracer:
         return "\n".join(lines)
 
     def counts(self) -> Dict[Tuple[str, str], int]:
-        """(category, what) -> occurrence count."""
+        """(category, what) -> occurrence count.  Includes a synthetic
+        ``("tracer", "dropped")`` entry when capacity drops occurred, so
+        summaries built on counts() cannot silently miss truncation."""
         out: Dict[Tuple[str, str], int] = {}
         for e in self.events:
             key = (e.category, e.what)
             out[key] = out.get(key, 0) + 1
+        if self.dropped:
+            out[("tracer", "dropped")] = self.dropped
         return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path=None, **filters) -> str:
+        """Serialize (filtered) events as JSON Lines, one event per
+        line; writes to ``path`` when given, returns the text either
+        way.  A final metadata line reports capacity drops."""
+        lines = [
+            json.dumps(
+                {
+                    "time": e.time,
+                    "category": e.category,
+                    "where": e.where,
+                    "what": e.what,
+                    "detail": [repr(d) if not isinstance(d, (int, float, str, bool, type(None))) else d for d in e.detail],
+                },
+                sort_keys=True,
+            )
+            for e in self.filter(**filters)
+        ]
+        if self.dropped:
+            lines.append(json.dumps({"meta": "tracer", "dropped": self.dropped}))
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(text)
+        return text
+
+    def to_chrome_trace(self, path=None, **filters) -> str:
+        """Export (filtered) events in the Chrome trace-event format
+        (load in Perfetto / ``chrome://tracing``).
+
+        Every event becomes an instant event (``ph: "i"``) on a virtual
+        thread per ``where`` (component), under one process per
+        category; ``detail`` rides in ``args``.  Cycle timestamps map
+        directly onto the format's microsecond field."""
+        events = self.filter(**filters)
+        wheres = sorted({e.where for e in events})
+        tids = {where: index for index, where in enumerate(wheres)}
+        out = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[where],
+                "args": {"name": where},
+            }
+            for where in wheres
+        ]
+        for e in events:
+            out.append(
+                {
+                    "name": e.what,
+                    "cat": e.category,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": e.time,
+                    "pid": 1,
+                    "tid": tids[e.where],
+                    "args": {"detail": [str(d) for d in e.detail]},
+                }
+            )
+        text = json.dumps({"traceEvents": out})
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(text)
+        return text

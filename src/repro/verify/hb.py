@@ -1,0 +1,214 @@
+"""Vector-clock happens-before tracking over sync operations, with a
+lockset-style data-race report for workload shared accesses.
+
+The tracker maintains one vector clock per thread, advanced at every
+synchronization event, with the classic edges:
+
+* lock release -> next acquire of the same lock (``lock_rel`` /
+  ``cond_wait_begin`` store the clock; ``lock_acq`` / ``cond_wait_end``
+  join it);
+* barrier episode: the release clock is the join of all arrivals'
+  clocks; every exit joins it;
+* ``cond_signal``/``cond_broadcast`` -> the wakeup that consumes it
+  (joined conservatively: a waiter joins the accumulated signal clock).
+
+Workload memory accesses (``mem_read``/``mem_write``, emitted by
+ThreadCtx outside sync-library internals) are checked FastTrack-style:
+each address keeps the last write epoch and per-thread read epochs; an
+access unordered with a previous conflicting access yields a
+:class:`~repro.verify.report.RaceRecord` carrying both sides' locksets.
+
+Atomic RMWs (``mem_atomic``) are intentionally not race-checked: they
+are the building blocks of flag/counter synchronization idioms whose
+ordering the tracker does not model, and flagging them would bury real
+findings.  For the same reason races are reported, not raised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.verify.monitors import Monitor
+from repro.verify.report import RaceRecord
+
+#: Cap on reported races; one unsynchronized variable in a hot loop
+#: would otherwise flood the report with identical records.
+MAX_RACES = 64
+
+
+class VectorClock(dict):
+    """tid -> logical time.  Missing entries are zero."""
+
+    def join(self, other: Optional["VectorClock"]) -> None:
+        if not other:
+            return
+        for tid, t in other.items():
+            if t > self.get(tid, 0):
+                self[tid] = t
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self)
+
+
+class _Epoch:
+    """One access: (thread, its clock component, cycle, locks held)."""
+
+    __slots__ = ("tid", "clock", "cycle", "locks")
+
+    def __init__(self, tid: int, clock: int, cycle: int, locks: FrozenSet[int]):
+        self.tid = tid
+        self.clock = clock
+        self.cycle = cycle
+        self.locks = locks
+
+
+class RaceMonitor(Monitor):
+    """Happens-before + lockset race detection over probe events."""
+
+    name = "data-race"
+
+    def on_attach(self) -> None:
+        self.vc: Dict[int, VectorClock] = {}
+        self.held: Dict[int, Set[int]] = {}
+        self.lock_release: Dict[int, VectorClock] = {}
+        self.barrier_accum: Dict[int, VectorClock] = {}
+        self.barrier_count: Dict[int, int] = {}
+        self.barrier_release: Dict[int, VectorClock] = {}
+        self.cond_clock: Dict[int, VectorClock] = {}
+        self.writes: Dict[int, _Epoch] = {}
+        self.reads: Dict[int, Dict[int, _Epoch]] = {}
+        self.reported: Set[Tuple[int, FrozenSet[int]]] = set()
+        self.accesses = 0
+
+        probe = self.probe
+        probe.subscribe("lock_acq", self._lock_acq)
+        probe.subscribe("lock_rel", self._lock_rel)
+        probe.subscribe("barrier_enter", self._barrier_enter)
+        probe.subscribe("barrier_exit", self._barrier_exit)
+        probe.subscribe("cond_wait_begin", self._wait_begin)
+        probe.subscribe("cond_wait_end", self._wait_end)
+        probe.subscribe("cond_signal", self._signal)
+        probe.subscribe("mem_read", self._read)
+        probe.subscribe("mem_write", self._write)
+        probe.subscribe("mem_atomic", self._atomic)
+
+    # -- clock plumbing -------------------------------------------------
+    def _clock(self, tid: int) -> VectorClock:
+        vc = self.vc.get(tid)
+        if vc is None:
+            vc = self.vc[tid] = VectorClock({tid: 1})
+            self.held[tid] = set()
+        return vc
+
+    def _tick(self, tid: int) -> None:
+        vc = self._clock(tid)
+        vc[tid] = vc.get(tid, 0) + 1
+
+    # -- sync edges -----------------------------------------------------
+    def _lock_acq(self, e) -> None:
+        self._clock(e.tid).join(self.lock_release.get(e.addr))
+        self.held[e.tid].add(e.addr)
+        self._tick(e.tid)
+
+    def _lock_rel(self, e) -> None:
+        self.lock_release[e.addr] = self._clock(e.tid).copy()
+        self.held[e.tid].discard(e.addr)
+        self._tick(e.tid)
+
+    def _barrier_enter(self, e) -> None:
+        addr, goal = e.addr, e.aux
+        accum = self.barrier_accum.setdefault(addr, VectorClock())
+        accum.join(self._clock(e.tid))
+        count = self.barrier_count.get(addr, 0) + 1
+        if count >= goal:
+            self.barrier_release[addr] = accum.copy()
+            self.barrier_accum[addr] = VectorClock()
+            count = 0
+        self.barrier_count[addr] = count
+        self._tick(e.tid)
+
+    def _barrier_exit(self, e) -> None:
+        # Joining the *latest* release clock over-synchronizes slightly
+        # under episode pipelining (may mask a race, never invents one).
+        self._clock(e.tid).join(self.barrier_release.get(e.addr))
+        self._tick(e.tid)
+
+    def _wait_begin(self, e) -> None:
+        self.lock_release[e.aux] = self._clock(e.tid).copy()
+        self.held[e.tid].discard(e.aux)
+        self._tick(e.tid)
+
+    def _wait_end(self, e) -> None:
+        vc = self._clock(e.tid)
+        vc.join(self.cond_clock.get(e.addr))
+        vc.join(self.lock_release.get(e.aux))
+        self.held[e.tid].add(e.aux)
+        self._tick(e.tid)
+
+    def _signal(self, e) -> None:
+        clock = self.cond_clock.setdefault(e.addr, VectorClock())
+        clock.join(self._clock(e.tid))
+        self._tick(e.tid)
+
+    # -- memory accesses ------------------------------------------------
+    def _ordered(self, epoch: _Epoch, tid: int) -> bool:
+        return self._clock(tid).get(epoch.tid, 0) >= epoch.clock
+
+    def _epoch(self, tid: int) -> _Epoch:
+        vc = self._clock(tid)
+        return _Epoch(
+            tid, vc.get(tid, 0), self.probe.sim.now, frozenset(self.held[tid])
+        )
+
+    def _report(self, addr: int, kind: str, prev: _Epoch, now: _Epoch) -> None:
+        key = (addr, frozenset((prev.tid, now.tid)))
+        if key in self.reported or len(self.suite.races) >= MAX_RACES:
+            return
+        self.reported.add(key)
+        self.suite.report_race(
+            RaceRecord(
+                addr=addr,
+                kind=kind,
+                first_tid=prev.tid,
+                first_cycle=prev.cycle,
+                first_locks=tuple(sorted(prev.locks)),
+                second_tid=now.tid,
+                second_cycle=now.cycle,
+                second_locks=tuple(sorted(now.locks)),
+            )
+        )
+
+    def _read(self, e) -> None:
+        self.accesses += 1
+        epoch = self._epoch(e.tid)
+        write = self.writes.get(e.addr)
+        if write is not None and write.tid != e.tid and not self._ordered(
+            write, e.tid
+        ):
+            self._report(e.addr, "write-read", write, epoch)
+        self.reads.setdefault(e.addr, {})[e.tid] = epoch
+
+    def _write(self, e) -> None:
+        self.accesses += 1
+        epoch = self._epoch(e.tid)
+        write = self.writes.get(e.addr)
+        if write is not None and write.tid != e.tid and not self._ordered(
+            write, e.tid
+        ):
+            self._report(e.addr, "write-write", write, epoch)
+        for reader in self.reads.get(e.addr, {}).values():
+            if reader.tid != e.tid and not self._ordered(reader, e.tid):
+                self._report(e.addr, "read-write", reader, epoch)
+        self.writes[e.addr] = epoch
+        self.reads[e.addr] = {}
+
+    def _atomic(self, e) -> None:
+        # Atomics act as per-address fences: they clear the epoch state
+        # so neither they nor accesses bridged by them are reported; see
+        # module docstring.
+        self.accesses += 1
+        self.writes.pop(e.addr, None)
+        self.reads[e.addr] = {}
+
+    def stats(self) -> Dict[str, int]:
+        return {"accesses": self.accesses, "threads": len(self.vc)}

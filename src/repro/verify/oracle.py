@@ -1,0 +1,273 @@
+"""Differential sync oracle: replay the recorded sync-op trace against
+a sequential reference model, and cross-check outcomes across machine
+configurations (MSA hardware vs ``runtime.swsync`` software vs
+``msa.ideal``).
+
+The :class:`OracleMonitor` records the thread-level synchronization
+trace in simulation order and, at finalize, replays it through
+:class:`SequentialReplayer` -- an independent, trivially-correct model
+of locks, barriers, and condvars.  Any recorded history the reference
+model finds infeasible (a lock granted while held, a barrier passed
+early, a wakeup with no signal *and* no spurious-wakeup contract) is a
+protocol bug in whichever implementation produced the trace.
+
+:func:`differential` runs the *same* workload/cores/seed on several
+configurations -- the deterministic address allocator gives every
+config identical synchronization addresses -- replays each trace, and
+cross-checks the per-address outcomes that must agree exactly: barrier
+episode counts.  Lock-acquisition and signal counts legitimately vary
+(work stealing, condvar wait loops), so they are reported, not
+asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.verify.monitors import Monitor
+
+#: Trace tuples are (cycle, kind, tid, addr, aux).
+TraceOp = Tuple[int, str, int, int, Optional[int]]
+
+RECORDED_KINDS = (
+    "lock_acq",
+    "lock_rel",
+    "barrier_enter",
+    "barrier_exit",
+    "cond_wait_begin",
+    "cond_wait_end",
+    "cond_signal",
+)
+
+
+class SequentialReplayer:
+    """Replays a sync-op trace against plain sequential semantics.
+
+    Never touches the simulator: this is the reference model the
+    hardware/software/ideal implementations are differenced against.
+    """
+
+    def __init__(self):
+        self.owner: Dict[int, Optional[int]] = {}
+        self.goal: Dict[int, int] = {}
+        self.entered: Dict[int, int] = {}
+        self.exited: Dict[int, int] = {}
+        self.waiting: Dict[int, set] = {}
+        self.wake_tokens: Dict[int, int] = {}
+        self.lock_acquires: Dict[int, int] = {}
+        self.barrier_episodes: Dict[int, int] = {}
+        self.signals: Dict[int, int] = {}
+        self.spurious_wakeups = 0
+        self.infeasible: List[str] = []
+
+    def replay(self, ops: Sequence[TraceOp]) -> List[str]:
+        for op in ops:
+            t, kind, tid, addr, aux = op
+            getattr(self, f"_{kind}")(t, tid, addr, aux)
+        for addr, entered in sorted(self.entered.items()):
+            goal = self.goal.get(addr, 1)
+            if entered != self.exited.get(addr, 0):
+                self.infeasible.append(
+                    f"barrier {addr:#x}: {entered} arrivals vs "
+                    f"{self.exited.get(addr, 0)} exits"
+                )
+            elif goal and entered % goal:
+                self.infeasible.append(
+                    f"barrier {addr:#x}: partial final episode "
+                    f"({entered} arrivals, goal {goal})"
+                )
+        return self.infeasible
+
+    def _lock_acq(self, t, tid, addr, aux) -> None:
+        holder = self.owner.get(addr)
+        if holder is not None:
+            self.infeasible.append(
+                f"cycle {t}: lock {addr:#x} acquired by t{tid} while "
+                f"held by t{holder}"
+            )
+        self.owner[addr] = tid
+        self.lock_acquires[addr] = self.lock_acquires.get(addr, 0) + 1
+
+    def _lock_rel(self, t, tid, addr, aux) -> None:
+        holder = self.owner.get(addr)
+        if holder != tid:
+            self.infeasible.append(
+                f"cycle {t}: lock {addr:#x} released by t{tid}, "
+                f"holder {holder}"
+            )
+        self.owner[addr] = None
+
+    def _barrier_enter(self, t, tid, addr, goal) -> None:
+        known = self.goal.setdefault(addr, goal)
+        if known != goal:
+            self.infeasible.append(
+                f"cycle {t}: barrier {addr:#x} goal {goal} != {known}"
+            )
+        entered = self.entered.get(addr, 0) + 1
+        self.entered[addr] = entered
+        if entered % goal == 0:
+            self.barrier_episodes[addr] = (
+                self.barrier_episodes.get(addr, 0) + 1
+            )
+
+    def _barrier_exit(self, t, tid, addr, goal) -> None:
+        exits = self.exited.get(addr, 0) + 1
+        self.exited[addr] = exits
+        needed = ((exits + goal - 1) // goal) * goal
+        if self.entered.get(addr, 0) < needed:
+            self.infeasible.append(
+                f"cycle {t}: t{tid} passed barrier {addr:#x} with "
+                f"{self.entered.get(addr, 0)}/{needed} arrivals"
+            )
+
+    def _cond_wait_begin(self, t, tid, cond, lock) -> None:
+        self._lock_rel(t, tid, lock, None)
+        self.waiting.setdefault(cond, set()).add(tid)
+
+    def _cond_wait_end(self, t, tid, cond, lock) -> None:
+        waiters = self.waiting.get(cond, set())
+        if tid not in waiters:
+            self.infeasible.append(
+                f"cycle {t}: t{tid} woke on {cond:#x} without waiting"
+            )
+        waiters.discard(tid)
+        tokens = self.wake_tokens.get(cond, 0)
+        if tokens > 0:
+            self.wake_tokens[cond] = tokens - 1
+        else:
+            # Legal (the ABORT/migration paths surface as spurious
+            # wakeups) but worth counting for the report.
+            self.spurious_wakeups += 1
+        self._lock_acq(t, tid, lock, None)
+        self.lock_acquires[lock] -= 1  # re-acquire, not a fresh acquire
+
+    def _cond_signal(self, t, tid, cond, broadcast) -> None:
+        self.signals[cond] = self.signals.get(cond, 0) + 1
+        waiters = len(self.waiting.get(cond, ()))
+        grant = waiters if broadcast else min(1, waiters)
+        self.wake_tokens[cond] = self.wake_tokens.get(cond, 0) + grant
+
+    def summary(self) -> Dict:
+        """Per-address outcome summary (JSON-safe keys)."""
+        return {
+            "barrier_episodes": {
+                hex(a): n for a, n in sorted(self.barrier_episodes.items())
+            },
+            "lock_acquires": {
+                hex(a): n for a, n in sorted(self.lock_acquires.items())
+            },
+            "signals": {hex(a): n for a, n in sorted(self.signals.items())},
+            "spurious_wakeups": self.spurious_wakeups,
+        }
+
+
+class OracleMonitor(Monitor):
+    """Records the sync-op trace; replays it at finalize."""
+
+    name = "oracle"
+
+    def on_attach(self) -> None:
+        self.ops: List[TraceOp] = []
+        self.replayer: Optional[SequentialReplayer] = None
+        for kind in RECORDED_KINDS:
+            self.probe.subscribe(kind, self._record)
+
+    def _record(self, e) -> None:
+        self.ops.append((e.t, e.kind, e.tid, e.addr, e.aux))
+
+    def finalize(self) -> None:
+        self.replayer = SequentialReplayer()
+        for problem in self.replayer.replay(self.ops):
+            self.violation(problem, invariant="oracle-replay")
+        self.suite.oracle_summary = self.replayer.summary()
+
+    def stats(self) -> Dict[str, int]:
+        out = {"ops": len(self.ops)}
+        if self.replayer is not None:
+            out["spurious_wakeups"] = self.replayer.spurious_wakeups
+            out["barrier_episodes"] = sum(
+                self.replayer.barrier_episodes.values()
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Differential cross-configuration checking
+# ---------------------------------------------------------------------------
+@dataclass
+class DifferentialReport:
+    """Cross-configuration comparison of replayed sync outcomes."""
+
+    workload: str
+    configs: List[str]
+    summaries: Dict[str, Dict] = field(default_factory=dict)
+    mismatches: List[str] = field(default_factory=list)
+    violations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not any(self.violations.values())
+
+    def describe(self) -> str:
+        lines = [
+            f"differential oracle: {self.workload} across "
+            f"{', '.join(self.configs)} -> {'ok' if self.ok else 'FAILED'}"
+        ]
+        for config in self.configs:
+            summary = self.summaries.get(config, {})
+            lines.append(
+                f"  {config}: "
+                f"{sum(summary.get('barrier_episodes', {}).values())} "
+                f"barrier episodes, "
+                f"{sum(summary.get('lock_acquires', {}).values())} lock "
+                f"acquires, {summary.get('spurious_wakeups', 0)} spurious "
+                f"wakeups, {self.violations.get(config, 0)} violations"
+            )
+        lines.extend(f"  MISMATCH: {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def differential(
+    workload: str = "streamcluster",
+    configs: Sequence[str] = ("msa-omu-2", "pthread", "ideal"),
+    cores: int = 16,
+    scale: float = 0.25,
+    seed: int = 2015,
+    monitors: Sequence[str] = ("mutex", "barrier", "condvar", "oracle"),
+) -> DifferentialReport:
+    """Run one workload identically on several configs and cross-check.
+
+    Every config sees the same deterministic addresses, so per-address
+    barrier episode counts must agree exactly; each config's trace must
+    also replay cleanly on the sequential reference model (that part is
+    enforced per run by the attached monitors).
+    """
+    from repro import api
+
+    report = DifferentialReport(workload=workload, configs=list(configs))
+    for config in configs:
+        result = api.run(
+            config,
+            workload,
+            cores=cores,
+            seed=seed,
+            scale=scale,
+            checkers=tuple(monitors),
+            raise_violations=False,
+        )
+        check = result.check_report or {}
+        report.violations[config] = len(check.get("violations", ()))
+        report.summaries[config] = check.get("oracle", {})
+    baseline = report.summaries.get(configs[0], {})
+    base_episodes = baseline.get("barrier_episodes", {})
+    for config in configs[1:]:
+        episodes = report.summaries.get(config, {}).get(
+            "barrier_episodes", {}
+        )
+        if episodes != base_episodes:
+            report.mismatches.append(
+                f"barrier episodes differ: {configs[0]}={base_episodes} "
+                f"vs {config}={episodes}"
+            )
+    return report

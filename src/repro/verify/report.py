@@ -1,0 +1,172 @@
+"""Structured checker results: violations, race records, and the
+:class:`CheckReport` a checked run attaches to its
+:class:`~repro.harness.runner.RunResult`.
+
+Everything here serializes to plain dicts (JSON-ready) so reports
+survive the harness result cache and worker-process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Violation:
+    """One invariant violation, with everything needed to debug it."""
+
+    invariant: str
+    """Monitor/invariant name (e.g. ``mutual-exclusion``)."""
+
+    message: str
+    addr: Optional[int] = None
+    threads: Tuple[int, ...] = ()
+    cycle: int = 0
+    """Cycle at which the violation was detected."""
+
+    window: Tuple[int, int] = (0, 0)
+    """(first cycle of the quoted trace slice, detection cycle)."""
+
+    trace: List[str] = field(default_factory=list)
+    """Formatted recent probe events relevant to the violation."""
+
+    def describe(self) -> str:
+        addr = f" addr={self.addr:#x}" if self.addr is not None else ""
+        threads = (
+            f" threads={list(self.threads)}" if self.threads else ""
+        )
+        lines = [
+            f"invariant '{self.invariant}' violated at cycle {self.cycle}"
+            f"{addr}{threads} (window {self.window[0]}..{self.window[1]}): "
+            f"{self.message}"
+        ]
+        if self.trace:
+            lines.append("trace slice:")
+            lines.extend(f"  {line}" for line in self.trace)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["threads"] = list(self.threads)
+        data["window"] = list(self.window)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Violation":
+        data = dict(data)
+        data["threads"] = tuple(data.get("threads", ()))
+        data["window"] = tuple(data.get("window", (0, 0)))
+        return cls(**data)
+
+
+@dataclass
+class RaceRecord:
+    """A candidate data race: two accesses to the same address with no
+    happens-before edge between them (lockset shown for diagnosis).
+
+    Races are *reported*, not raised: workloads legitimately synchronize
+    through flag spins the happens-before tracker does not model, so a
+    record is a lead, not a verdict.
+    """
+
+    addr: int
+    kind: str
+    """``write-write``, ``write-read``, or ``read-write``."""
+
+    first_tid: int
+    first_cycle: int
+    first_locks: Tuple[int, ...]
+    second_tid: int
+    second_cycle: int
+    second_locks: Tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} race on {self.addr:#x}: "
+            f"t{self.first_tid}@{self.first_cycle} "
+            f"(locks={[hex(a) for a in self.first_locks]}) || "
+            f"t{self.second_tid}@{self.second_cycle} "
+            f"(locks={[hex(a) for a in self.second_locks]})"
+        )
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["first_locks"] = list(self.first_locks)
+        data["second_locks"] = list(self.second_locks)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RaceRecord":
+        data = dict(data)
+        data["first_locks"] = tuple(data.get("first_locks", ()))
+        data["second_locks"] = tuple(data.get("second_locks", ()))
+        return cls(**data)
+
+
+@dataclass
+class CheckReport:
+    """What the checker suite observed over one run."""
+
+    monitors: List[str] = field(default_factory=list)
+    events_observed: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    races: List[RaceRecord] = field(default_factory=list)
+    notes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    """Per-monitor informational counters (e.g. locks tracked,
+    barrier episodes replayed, spurious wakeups)."""
+
+    oracle: Dict = field(default_factory=dict)
+    """Per-address outcome summary from the sequential replay oracle
+    (only populated when the ``oracle`` monitor ran); the differential
+    checker compares these across configurations."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        head = (
+            f"check: {'ok' if self.ok else 'FAILED'} "
+            f"({len(self.monitors)} monitors, "
+            f"{self.events_observed:,} events, "
+            f"{len(self.violations)} violations, "
+            f"{len(self.races)} race reports)"
+        )
+        lines = [head]
+        for v in self.violations:
+            lines.append(v.describe())
+        for r in self.races:
+            lines.append("  " + r.describe())
+        for name in sorted(self.notes):
+            stats = self.notes[name]
+            if stats:
+                summary = ", ".join(
+                    f"{k}={v}" for k, v in sorted(stats.items())
+                )
+                lines.append(f"  {name}: {summary}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "monitors": list(self.monitors),
+            "events_observed": self.events_observed,
+            "violations": [v.to_dict() for v in self.violations],
+            "races": [r.to_dict() for r in self.races],
+            "notes": {k: dict(v) for k, v in self.notes.items()},
+            "oracle": dict(self.oracle),
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CheckReport":
+        return cls(
+            monitors=list(data.get("monitors", [])),
+            events_observed=data.get("events_observed", 0),
+            violations=[
+                Violation.from_dict(v) for v in data.get("violations", [])
+            ],
+            races=[RaceRecord.from_dict(r) for r in data.get("races", [])],
+            notes={k: dict(v) for k, v in data.get("notes", {}).items()},
+            oracle=dict(data.get("oracle", {})),
+        )

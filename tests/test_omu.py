@@ -2,7 +2,7 @@
 Bloom filter)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.common.params import OMUParams
 from repro.common.stats import StatSet
@@ -112,6 +112,48 @@ class TestBloom:
         assert not isinstance(made, CountingBloomOmu)
 
 
+class TestStickySaturation:
+    """The saturation hazard: an untagged saturating counter that loses
+    increments must never count back down to a false 'inactive'."""
+
+    def test_saturate_then_decrement_stays_active(self):
+        omu = counter_omu(counter_bits=2)  # max 3
+        omu.increment(ADDR, 10)  # 7 increments lost at the ceiling
+        for _ in range(10):
+            omu.decrement(ADDR)
+        # Pre-fix this read inactive after 3 decrements while 7 software
+        # operations were still outstanding.
+        assert omu.is_active(ADDR)
+        assert omu.stats.counter("omu_saturations").value == 1
+        assert omu.stats.counter("omu_sticky_holds").value == 10
+        assert omu.saturated_counters() == 1
+
+    def test_exact_fill_is_not_sticky(self):
+        omu = counter_omu(counter_bits=2)
+        omu.increment(ADDR, 3)  # reaches max exactly; nothing lost
+        omu.decrement(ADDR, 3)
+        assert not omu.is_active(ADDR)
+        assert omu.stats.counter("omu_saturations").value == 0
+        assert omu.saturated_counters() == 0
+
+    def test_saturation_counted_once_per_counter(self):
+        omu = counter_omu(counter_bits=2)
+        omu.increment(ADDR, 10)
+        omu.increment(ADDR, 10)
+        assert omu.stats.counter("omu_saturations").value == 1
+
+    def test_reset_drains_sticky_state(self):
+        omu = counter_omu(counter_bits=2)
+        omu.increment(ADDR, 100)
+        omu.reset()
+        assert not omu.is_active(ADDR)
+        assert omu.saturated_counters() == 0
+        omu.increment(ADDR)
+        omu.decrement(ADDR)
+        assert not omu.is_active(ADDR)
+        assert omu.stats.counter("omu_resets").value == 1
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     events=st.lists(
@@ -138,3 +180,53 @@ def test_property_active_whenever_software_activity_outstanding(events, use_bloo
         for a, b in balance.items():
             if b > 0:
                 assert omu.is_active(a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 5), st.booleans()), min_size=1, max_size=200
+    ),
+    use_bloom=st.booleans(),
+)
+# The canonical hazard: saturate a 2-bit counter (4 increments, one
+# lost), then decrement three times -- pre-fix the counter reads zero
+# with one operation still outstanding.  Pinned so the regression is
+# deterministic, not at the mercy of random generation.
+@example(events=[(0, True)] * 4 + [(0, False)] * 3, use_bloom=False)
+@example(events=[(0, True)] * 4 + [(0, False)] * 3, use_bloom=True)
+# Aliased slots (0 and 4 share a counter with n_counters=4): combined
+# activity saturates, decrements on one address uncover the other.
+@example(
+    events=[(0, True)] * 2 + [(4, True)] * 2 + [(4, False)] * 2 + [(0, False)],
+    use_bloom=False,
+)
+def test_property_no_false_inactive_past_saturation(events, use_bloom):
+    """Regression for the saturation hazard, on both OMU variants.
+
+    With 2-bit counters, four or more outstanding operations saturate a
+    counter; before sticky saturation the lost increments let decrements
+    walk the counter to zero while the exact reference map still showed
+    live software activity -- a false 'inactive' that let the MSA
+    allocate an entry over a live software lock.  Any interleaving of
+    increment/decrement must keep every address with a positive exact
+    balance reading active."""
+    params = OMUParams(
+        n_counters=4, counter_bits=2, use_bloom=use_bloom, bloom_hashes=2
+    )
+    omu = make_omu(params, StatSet("t"))
+    balance = {}
+    for slot, is_inc in events:
+        addr = 0x4000 + slot * 64
+        if is_inc:
+            omu.increment(addr)
+            balance[addr] = balance.get(addr, 0) + 1
+        elif balance.get(addr, 0) > 0:
+            omu.decrement(addr)
+            balance[addr] -= 1
+        for a, b in balance.items():
+            if b > 0:
+                assert omu.is_active(a), (
+                    f"false 'inactive' for {a:#x} with {b} outstanding "
+                    f"software operation(s)"
+                )

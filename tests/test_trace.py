@@ -101,3 +101,81 @@ class TestMachineTracing:
             return run_workload(m, KERNELS["streamcluster"](16, 0.25)).cycles
 
         assert run(False) == run(True)
+
+
+class TestExport:
+    def _tracer(self):
+        import json  # noqa: F401  (exercised below)
+
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.enable("msa", "sync")
+        sim.now = 10
+        tracer.record("msa", "slice0", "allocate", 0x4000, "lock")
+        sim.now = 25
+        tracer.record("sync", "core1", "lock_acq", 0x4000)
+        sim.now = 40
+        tracer.record("msa", "slice0", "respond", "success")
+        return tracer
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        import json
+
+        tracer = self._tracer()
+        path = tmp_path / "trace.jsonl"
+        text = tracer.to_jsonl(str(path))
+        assert path.read_text() == text
+        records = [json.loads(line) for line in text.splitlines()]
+        assert [r["time"] for r in records] == [10, 25, 40]
+        assert records[0]["category"] == "msa"
+        assert records[0]["where"] == "slice0"
+        assert records[0]["what"] == "allocate"
+        assert records[0]["detail"] == [0x4000, "lock"]
+
+    def test_jsonl_respects_filters(self):
+        import json
+
+        tracer = self._tracer()
+        records = [
+            json.loads(line)
+            for line in tracer.to_jsonl(category="sync").splitlines()
+        ]
+        assert [r["what"] for r in records] == ["lock_acq"]
+
+    def test_jsonl_reports_drops(self):
+        import json
+
+        sim = Simulator()
+        tracer = Tracer(sim, max_events=2)
+        tracer.enable("t")
+        for _ in range(5):
+            tracer.record("t", "x", "tick")
+        lines = tracer.to_jsonl().splitlines()
+        meta = json.loads(lines[-1])
+        assert meta == {"meta": "tracer", "dropped": 3}
+        assert tracer.counts()[("tracer", "dropped")] == 3
+
+    def test_empty_tracer_exports_empty(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        assert tracer.to_jsonl() == ""
+
+    def test_chrome_trace_structure(self, tmp_path):
+        import json
+
+        tracer = self._tracer()
+        path = tmp_path / "trace.json"
+        text = tracer.to_chrome_trace(str(path))
+        assert path.read_text() == text
+        data = json.loads(text)
+        events = data["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        instants = [e for e in events if e["ph"] == "i"]
+        # One thread-name record per distinct `where`, shared pid.
+        assert {m["args"]["name"] for m in meta} == {"slice0", "core1"}
+        assert len(instants) == 3
+        by_name = {e["name"]: e for e in instants}
+        assert by_name["allocate"]["ts"] == 10
+        assert by_name["allocate"]["cat"] == "msa"
+        assert by_name["lock_acq"]["tid"] != by_name["allocate"]["tid"]
+        assert by_name["respond"]["args"]["detail"] == ["success"]
