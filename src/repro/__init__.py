@@ -42,6 +42,7 @@ __all__ = [
     "build",
     "run",
     "sweep",
+    "bench",
     "RunResult",
     "__version__",
 ]
@@ -50,7 +51,7 @@ __version__ = "1.1.0"
 
 #: Facade names resolved lazily so ``import repro`` stays light (the
 #: harness pulls in the whole machine model) and free of import cycles.
-_API_NAMES = ("build", "run", "sweep", "RunResult", "Engine", "JobSpec")
+_API_NAMES = ("build", "run", "sweep", "bench", "RunResult", "Engine", "JobSpec")
 
 
 def __getattr__(name):

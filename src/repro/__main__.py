@@ -33,7 +33,7 @@ from repro.harness import experiments
 
 FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
 COMMANDS = ("table1",) + FIGURES + (
-    "headline", "chaos", "run", "verify", "sweep", "all",
+    "headline", "chaos", "run", "verify", "sweep", "perf", "all",
 )
 
 
@@ -149,6 +149,45 @@ def _run_verify(args) -> int:
         machine.tracer.to_jsonl(args.trace)
         print(f"wrote trace to {args.trace}")
     return 0 if report.ok else 1
+
+
+def _run_perf(args) -> int:
+    from repro.perf import (
+        SUITES,
+        BenchPoint,
+        compare,
+        load_doc,
+        render_table,
+        run_suite,
+        write_doc,
+    )
+
+    if args.points:
+        try:
+            points = [BenchPoint.parse(spec) for spec in args.points]
+        except ValueError as exc:
+            print(f"python -m repro perf: error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        points = SUITES[args.suite]
+    doc = run_suite(
+        points,
+        repeat=args.repeat,
+        seed=args.seed,
+        label=args.label,
+        profile=args.profile or 0,
+        progress=args.progress,
+    )
+    baseline = load_doc(args.compare) if args.compare else None
+    print(render_table(doc, baseline))
+    if args.out:
+        write_doc(doc, args.out)
+        print(f"wrote {args.out}")
+    if baseline is not None:
+        result = compare(doc, baseline, threshold=args.threshold)
+        print(result.describe())
+        return 0 if result.ok else 1
+    return 0
 
 
 def _run_sweep(args) -> int:
@@ -268,6 +307,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "perf",
+        help="microbenchmark the simulator itself (events/sec, RSS, "
+        "regression gate); see docs/PERF.md",
+    )
+    p.add_argument(
+        "--suite",
+        choices=("smoke", "headline"),
+        default="smoke",
+        help="benchmark point set (default: smoke)",
+    )
+    p.add_argument(
+        "--points",
+        nargs="+",
+        default=None,
+        metavar="CFG:WL[:CORES[:SCALE]]",
+        help="explicit points instead of a named suite",
+    )
+    p.add_argument("--repeat", type=int, default=3, help="repeats per point")
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--label", default="", help="free-form label stored in the JSON")
+    p.add_argument("--out", default=None, help="write BENCH_*.json here")
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.json",
+        help="gate against this baseline document (non-zero exit on "
+        "regression or determinism break)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed events/sec regression fraction (default 0.15)",
+    )
+    p.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help="also cProfile each point and print the top N functions",
+    )
+    p.add_argument(
+        "--progress", action="store_true", help="per-point progress lines"
+    )
+
+    p = sub.add_parser(
         "sweep", help="ad-hoc grid through the parallel engine"
     )
     add_common(p, cores_default=[16])
@@ -299,6 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_verify(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "perf":
+        return _run_perf(args)
     names = (
         ("table1",) + FIGURES + ("headline", "chaos")
         if args.command == "all"

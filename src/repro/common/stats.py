@@ -2,7 +2,10 @@
 
 Each component owns a :class:`StatSet`; the harness aggregates them into
 experiment reports.  Keeping these tiny (plain ints/lists) matters: they
-sit on the hot path of the event simulation.
+sit on the hot path of the event simulation.  Hot components bind the
+:class:`Counter`/:class:`Histogram` objects they touch per event to
+attributes at construction (``self._hits = stats.counter("hits")``) so
+the per-event cost is one attribute increment, not a registry lookup.
 """
 
 from __future__ import annotations
@@ -12,7 +15,11 @@ from typing import Dict, Iterable, List, Optional
 
 
 class Counter:
-    """A monotonically increasing event counter."""
+    """A monotonically increasing event counter.
+
+    ``value`` is public on purpose: hot paths do ``c.value += n``
+    directly; :meth:`inc` is the convenience form for cold paths.
+    """
 
     __slots__ = ("name", "value")
 
@@ -34,50 +41,112 @@ class Counter:
 
 
 class Histogram:
-    """Records samples; reports count/mean/percentiles.
+    """Records samples; reports count/mean/min/max/percentiles.
 
-    Stores raw samples -- experiment runs are short enough (at most a few
-    hundred thousand samples) that this is cheaper and more precise than
-    bucketing.
+    The moments (count, total, min, max -- and therefore the mean) are
+    maintained incrementally on :meth:`add` and are always exact.
+    Percentiles come from the retained samples, whose sorted view is
+    cached between adds (report loops call :meth:`percentile` per
+    percentile point; re-sorting each call was quadratic in practice).
+
+    By default every sample is retained exactly.  For unbounded runs,
+    ``sample_limit`` caps retention: once the limit is reached the
+    retained set is thinned to every other sample and the stride
+    doubles, deterministically -- percentiles become approximations
+    over a uniform subsample while the moments stay exact.  No machine
+    model sets a limit (results stay bit-for-bit exact); long-lived
+    monitoring is the intended user.
     """
 
-    __slots__ = ("name", "samples")
+    __slots__ = (
+        "name",
+        "samples",
+        "sample_limit",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+        "_stride",
+        "_phase",
+        "_sorted",
+    )
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, sample_limit: Optional[int] = None):
+        if sample_limit is not None and sample_limit < 2:
+            raise ValueError(f"sample_limit must be >= 2, got {sample_limit}")
         self.name = name
         self.samples: List[float] = []
+        self.sample_limit = sample_limit
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._stride = 1
+        self._phase = 0
+        self._sorted: Optional[List[float]] = None
 
     def add(self, value: float) -> None:
-        self.samples.append(value)
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._stride == 1:
+            self.samples.append(value)
+        else:
+            # Bounded mode after a thin: keep every _stride-th sample.
+            self._phase += 1
+            if self._phase == self._stride:
+                self._phase = 0
+                self.samples.append(value)
+            else:
+                return  # retained set unchanged; keep the sorted cache
+        self._sorted = None
+        limit = self.sample_limit
+        if limit is not None and len(self.samples) >= limit:
+            del self.samples[::2]
+            self._stride *= 2
+            self._phase = 0
 
     def reset(self) -> None:
         self.samples.clear()
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._stride = 1
+        self._phase = 0
+        self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.samples) if self.samples else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._max if self._count else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        return self._min if self._count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
+        """Nearest-rank percentile, ``p`` in [0, 100] (over the retained
+        samples; exact unless ``sample_limit`` forced thinning)."""
+        ordered = self._sorted
+        if ordered is None:
+            if not self.samples:
+                return 0.0
+            ordered = self._sorted = sorted(self.samples)
         rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
         return ordered[rank]
 
@@ -104,14 +173,20 @@ class StatSet:
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
 
-    def histogram(self, name: str) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
-        return self._histograms[name]
+    def histogram(
+        self, name: str, sample_limit: Optional[int] = None
+    ) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(
+                name, sample_limit=sample_limit
+            )
+        return hist
 
     def __getitem__(self, name: str):
         if name in self._counters:
@@ -139,7 +214,9 @@ class StatSet:
 
     def as_dict(self) -> Dict[str, float]:
         """Flattened snapshot, suitable for reports."""
-        snapshot: Dict[str, float] = dict(self.counters)
+        snapshot: Dict[str, float] = {
+            k: c.value for k, c in self._counters.items()
+        }
         for key, hist in self._histograms.items():
             snapshot[f"{key}.count"] = hist.count
             snapshot[f"{key}.mean"] = hist.mean
@@ -150,9 +227,10 @@ class StatSet:
 def merge_counters(stat_sets: Iterable[StatSet]) -> Dict[str, int]:
     """Sum same-named counters across a collection of StatSets."""
     merged: Dict[str, int] = {}
+    get = merged.get
     for stats in stat_sets:
-        for key, value in stats.counters.items():
-            merged[key] = merged.get(key, 0) + value
+        for key, counter in stats._counters.items():
+            merged[key] = get(key, 0) + counter.value
     return merged
 
 

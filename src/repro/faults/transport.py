@@ -69,6 +69,10 @@ class _RecvState:
 class ReliableTransport:
     """Sequencing, acknowledgment, and retransmission for MSA traffic."""
 
+    #: Prefix set the network's send() hot path probes directly (one
+    #: frozenset hit against Message.prefix, no string splitting).
+    covered = frozenset(COVERED_PREFIXES)
+
     def __init__(self, sim, network, params: FaultParams, tracer=None):
         self.sim = sim
         self.network = network
@@ -91,9 +95,9 @@ class ReliableTransport:
             network.register(tile, "rel", self._on_ack)
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def covers(kind: str) -> bool:
-        return kind.split(".", 1)[0] in COVERED_PREFIXES
+    @classmethod
+    def covers(cls, kind: str) -> bool:
+        return kind.split(".", 1)[0] in cls.covered
 
     def _trace(self, what: str, *detail) -> None:
         if self.tracer is not None and self.tracer.active:

@@ -21,25 +21,35 @@ from repro.noc.network import Network
 from repro.sim.kernel import Future, Simulator
 
 
-@dataclass
 class _Op:
     """One in-flight memory operation from the core."""
 
-    kind: str  # "load" | "store" | "rmw"
-    addr: int
-    future: Future
-    value: Optional[int] = None  # store value
-    rmw_fn: Optional[Callable[[int], int]] = None
-    issued_at: int = 0
+    __slots__ = ("kind", "addr", "future", "value", "rmw_fn", "issued_at")
+
+    def __init__(self, kind, addr, future, value=None, rmw_fn=None):
+        self.kind = kind  # "load" | "store" | "rmw"
+        self.addr = addr
+        self.future = future
+        self.value = value  # store value
+        self.rmw_fn = rmw_fn
+        self.issued_at = 0
 
 
-@dataclass
 class _Mshr:
     """Miss-status holding register: one per in-flight line."""
 
-    line: int
-    want_write: bool
-    ops: Deque[_Op] = field(default_factory=deque)
+    __slots__ = ("line", "want_write", "ops")
+
+    def __init__(self, line, want_write):
+        self.line = line
+        self.want_write = want_write
+        self.ops: Deque[_Op] = deque()
+
+
+_INVALID = CacheState.INVALID
+_SHARED = CacheState.SHARED
+_EXCLUSIVE = CacheState.EXCLUSIVE
+_MODIFIED = CacheState.MODIFIED
 
 
 class L1Cache:
@@ -65,6 +75,23 @@ class L1Cache:
         self._sets: Dict[int, "OrderedDict[int, CacheState]"] = {}
         self._mshrs: Dict[int, _Mshr] = {}
         self._set_mask = params.n_sets - 1
+        self._line_shift = params.line_size.bit_length() - 1
+        self._hit_latency = params.hit_latency
+        # Every access touches two of these; bind them once (see
+        # common/stats.py on hot-path counter binding).
+        self._op_counts = {
+            kind: self.stats.counter(f"{kind}s")
+            for kind in ("load", "store", "rmw")
+        }
+        self._op_latency = {
+            kind: self.stats.histogram(f"{kind}_latency")
+            for kind in ("load", "store", "rmw")
+        }
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._hit_replays = self.stats.counter("hit_replays")
+        self._invalidations = self.stats.counter("invalidations")
+        self._evictions = self.stats.counter("evictions")
         network.register(core_id, "coh_l1", self._on_message)
 
     # ------------------------------------------------------------------
@@ -117,41 +144,55 @@ class L1Cache:
     # ------------------------------------------------------------------
     def _submit(self, op: _Op) -> Future:
         op.issued_at = self.sim.now
-        self.stats.counter(f"{op.kind}s").inc()
+        self._op_counts[op.kind].value += 1
         self._start(op)
         return op.future
 
     def _start(self, op: _Op) -> None:
-        line = op.addr >> (self.params.line_size.bit_length() - 1)
-        state = self.state_of(line)
-        if self._sufficient(state, op):
-            self.stats.counter("hits").inc()
-            self._touch(line)
+        line = op.addr >> self._line_shift
+        bucket = self._set_of(line)
+        state = bucket.get(line, _INVALID)
+        if (
+            state is not _INVALID
+            if op.kind == "load"
+            else (state is _MODIFIED or state is _EXCLUSIVE)
+        ):
+            # Hit: the line is necessarily present in the bucket.
+            self._hits.value += 1
+            bucket.move_to_end(line)
             self.sim.schedule(
-                self.params.hit_latency, lambda: self._complete_if_valid(op, line)
+                self._hit_latency, self._complete_if_valid, (op, line)
             )
             return
         self._miss(op, line)
 
-    def _complete_if_valid(self, op: _Op, line: int) -> None:
+    def _complete_if_valid(self, op_line) -> None:
         """Permission may have been revoked during the hit latency
         (a racing invalidation); re-check and retry if so."""
-        if not self._sufficient(self.state_of(line), op):
-            self.stats.counter("hit_replays").inc()
+        op, line = op_line
+        bucket = self._set_of(line)
+        state = bucket.get(line, _INVALID)
+        kind = op.kind
+        if (
+            state is _INVALID
+            if kind == "load"
+            else not (state is _MODIFIED or state is _EXCLUSIVE)
+        ):
+            self._hit_replays.value += 1
             self._start(op)
             return
-        if op.kind == "store" and self.state_of(line) is CacheState.EXCLUSIVE:
-            self._set_state(line, CacheState.MODIFIED)
-        if op.kind == "rmw" and self.state_of(line) is CacheState.EXCLUSIVE:
-            self._set_state(line, CacheState.MODIFIED)
+        if kind != "load" and state is _EXCLUSIVE:
+            bucket[line] = _MODIFIED
+            bucket.move_to_end(line)
         self._perform(op)
 
     def _perform(self, op: _Op) -> None:
         """Apply the operation to the backing store and resolve it."""
-        self.stats.histogram(f"{op.kind}_latency").add(self.sim.now - op.issued_at)
-        if op.kind == "load":
+        kind = op.kind
+        self._op_latency[kind].add(self.sim.now - op.issued_at)
+        if kind == "load":
             op.future.complete(self.backing_store.get(op.addr, 0))
-        elif op.kind == "store":
+        elif kind == "store":
             self.backing_store[op.addr] = op.value
             op.future.complete(None)
         else:  # rmw
@@ -160,7 +201,7 @@ class L1Cache:
             op.future.complete(old)
 
     def _miss(self, op: _Op, line: int) -> None:
-        self.stats.counter("misses").inc()
+        self._misses.value += 1
         want_write = op.kind != "load"
         mshr = self._mshrs.get(line)
         if mshr is not None:
@@ -191,21 +232,21 @@ class L1Cache:
     def _on_message(self, msg: Message) -> None:
         line = msg.payload["line"]
         if msg.kind == "coh_l1.data_s":
-            self._fill(line, CacheState.SHARED)
+            self._fill(line, _SHARED)
         elif msg.kind == "coh_l1.data_e":
-            self._fill(line, CacheState.EXCLUSIVE)
+            self._fill(line, _EXCLUSIVE)
         elif msg.kind == "coh_l1.inv":
-            self._set_state(line, CacheState.INVALID)
-            self.stats.counter("invalidations").inc()
+            self._set_state(line, _INVALID)
+            self._invalidations.value += 1
             self._ack_home(line, "coh.inv_ack")
         elif msg.kind == "coh_l1.fwd_gets":
             # Downgrade to S; dirty data is already in the backing store.
-            if self.state_of(line).can_write or self.state_of(line).can_read:
-                self._set_state(line, CacheState.SHARED)
+            if self.state_of(line) is not _INVALID:
+                self._set_state(line, _SHARED)
             self._ack_home(line, "coh.fwd_ack")
         elif msg.kind == "coh_l1.fwd_getm":
-            self._set_state(line, CacheState.INVALID)
-            self.stats.counter("invalidations").inc()
+            self._set_state(line, _INVALID)
+            self._invalidations.value += 1
             self._ack_home(line, "coh.fwd_ack")
         else:
             raise ValueError(f"L1 {self.core_id}: unknown message {msg}")
@@ -236,8 +277,8 @@ class L1Cache:
         for op in mshr.ops:
             current = self.state_of(line)
             if self._sufficient(current, op):
-                if op.kind != "load" and current is CacheState.EXCLUSIVE:
-                    self._set_state(line, CacheState.MODIFIED)
+                if op.kind != "load" and current is _EXCLUSIVE:
+                    self._set_state(line, _MODIFIED)
                 self._perform(op)
             else:
                 self._start(op)
@@ -249,6 +290,6 @@ class L1Cache:
             return
         victim, vstate = next(iter(bucket.items()))
         del bucket[victim]
-        self.stats.counter("evictions").inc()
-        if vstate in (CacheState.MODIFIED, CacheState.EXCLUSIVE):
+        self._evictions.value += 1
+        if vstate is _MODIFIED or vstate is _EXCLUSIVE:
             self._send_home(victim, "coh.putm")

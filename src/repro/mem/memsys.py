@@ -72,9 +72,14 @@ class MemoryFabric:
             )
             for core in range(params.n_cores)
         ]
+        # The facade is stateless per core; threads fetch one per memory
+        # operation, so hand out a single cached instance per core.
+        self._memory_systems: List[MemorySystem] = [
+            MemorySystem(l1) for l1 in self.l1s
+        ]
 
     def memory_system(self, core: CoreId) -> MemorySystem:
-        return MemorySystem(self.l1s[core])
+        return self._memory_systems[core]
 
     def peek(self, addr: int) -> int:
         """Read the backing store without any simulated traffic

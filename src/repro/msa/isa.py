@@ -75,6 +75,10 @@ class SyncUnit:
         self.mode = mode
         self.ideal_oracle = ideal_oracle
         self.stats = StatSet(f"sync_unit.{core_id}")
+        self._issued_counts: Dict[SyncOp, object] = {}
+        """Per-op ``issued.*`` counter handles, registered on first
+        issue so the counter set matches the pre-binding unit."""
+
         self._pending: Dict[int, Future] = {}
         self._squashed_reqs: set = set()
         self._detached_reqs: set = set()
@@ -165,9 +169,14 @@ class SyncUnit:
         ``slot``; the future resolves to a :class:`SyncResult` (or
         ``SQUASHED`` after a suspension)."""
         future = self.sim.future()
-        self.stats.counter(f"issued.{op.value}").inc()
+        issued = self._issued_counts.get(op)
+        if issued is None:
+            issued = self._issued_counts[op] = self.stats.counter(
+                f"issued.{op.value}"
+            )
+        issued.value += 1
         fence = self.core_params.sync_fence_latency
-        requester = self._requester(slot)
+        requester = self.core_id * self.core_params.hw_threads + slot
 
         if self.mode == MODE_IDEAL:
             # Zero-latency oracle synchronization, no fence cost either.
@@ -203,7 +212,7 @@ class SyncUnit:
         if op is SyncOp.FINISH:
             # Fire-and-forget OMU notification; completes at the core
             # as soon as the message is injected.
-            self.sim.schedule(fence, lambda: self._send_finish(addr, future))
+            self.sim.schedule(fence, self._send_finish, (addr, future))
             return future
 
         if op is SyncOp.UNLOCK:
@@ -237,9 +246,8 @@ class SyncUnit:
                     self._register_detached(req_id, addr, aux, requester)
                 self.sim.schedule(
                     fence,
-                    lambda: self._send_request(
-                        SyncOp.UNLOCK, addr, aux, req_id, requester
-                    ),
+                    self._send_request,
+                    (SyncOp.UNLOCK, addr, aux, req_id, requester),
                 )
                 future.complete_at(fence, SyncResult.SUCCESS)
                 return future
@@ -267,14 +275,14 @@ class SyncUnit:
             if self._plane is not None:
                 self._hw_owned[addr] = slot
             self.sim.schedule(
-                fence, lambda: self._send_silent(addr, future, requester, slot)
+                fence, self._send_silent, (addr, future, requester, slot)
             )
             return future
 
         req_id = next(_req_ids)
         self._register_pending(req_id, op, addr, aux, slot, future)
         self.sim.schedule(
-            fence, lambda: self._send_request(op, addr, aux, req_id, requester)
+            fence, self._send_request, (op, addr, aux, req_id, requester)
         )
         return future
 
@@ -296,9 +304,10 @@ class SyncUnit:
             self._pending_aux[req_id] = aux
             self._arm_timeout(req_id)
 
-    def _send_request(
-        self, op: SyncOp, addr: Address, aux: int, req_id: int, requester: int
-    ) -> None:
+    def _send_request(self, req) -> None:
+        # ``req`` is the (op, addr, aux, req_id, requester) tuple the
+        # issue path schedules directly (no per-request closure).
+        op, addr, aux, req_id, requester = req
         if req_id in self._squashed_reqs:
             # Suspended before the fence drained: nothing was sent, and
             # nothing needs undoing.
@@ -319,7 +328,8 @@ class SyncUnit:
             )
         )
 
-    def _send_finish(self, addr: Address, future: Future) -> None:
+    def _send_finish(self, addr_future) -> None:
+        addr, future = addr_future
         self.network.send(
             Message(
                 src=self.core_id,
@@ -330,9 +340,8 @@ class SyncUnit:
         )
         future.complete(SyncResult.SUCCESS)
 
-    def _send_silent(
-        self, addr: Address, future: Future, requester: int, slot: int
-    ) -> None:
+    def _send_silent(self, state) -> None:
+        addr, future, requester, slot = state
         # A revoke may have landed during the fence window; the bit was
         # already consumed at issue, so the revoke handler flags us.
         if self._silent_cancelled.pop(addr, False):
@@ -343,7 +352,7 @@ class SyncUnit:
             # Fall back to a normal LOCK round trip.
             req_id = next(_req_ids)
             self._register_pending(req_id, SyncOp.LOCK, addr, 0, slot, future)
-            self._send_request(SyncOp.LOCK, addr, 0, req_id, requester)
+            self._send_request((SyncOp.LOCK, addr, 0, req_id, requester))
             return
         self.network.send(
             Message(
@@ -575,7 +584,7 @@ class SyncUnit:
         )
         # Idempotent: the slice dedups by req_id and replays the cached
         # response if the original was actually processed.
-        self._send_request(SyncOp.UNLOCK, addr, aux, req_id, requester)
+        self._send_request((SyncOp.UNLOCK, addr, aux, req_id, requester))
         self.sim.schedule(
             self._timeout_for(attempt + 1),
             lambda: self._check_detached(req_id),
@@ -612,7 +621,7 @@ class SyncUnit:
             op = self._pending_op[req_id]
             aux = self._pending_aux.get(req_id, 0)
             slot = self._pending_slot.get(req_id, 0)
-            self._send_request(op, addr, aux, req_id, self._requester(slot))
+            self._send_request((op, addr, aux, req_id, self._requester(slot)))
         else:
             # Delivered but unanswered: probe liveness.  A live slice
             # pongs (even while we sit in its HWQueue); only true

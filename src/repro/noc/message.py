@@ -4,17 +4,28 @@ One message class serves both the coherence protocol and the MSA: the
 ``kind`` string namespaces the protocol ("coh.*" vs "msa.*") and the
 ``payload`` dict carries protocol-specific fields.  Keeping this generic
 lets the network layer stay protocol-agnostic.
+
+The routing prefix (the part of ``kind`` before the first dot) is
+computed once at construction and memoized per kind string: the network
+consults it at injection (per-protocol counters), coverage checks
+(reliable transport), and dispatch, and messages outnumber kinds by many
+orders of magnitude.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.common.types import TileId
 
 _msg_ids = itertools.count()
+
+#: kind -> interned prefix; kinds form a small closed set, so this stays
+#: tiny and makes prefix lookup a single dict hit per construction.
+_prefix_of: Dict[str, str] = {}
 
 
 @dataclass
@@ -33,6 +44,16 @@ class Message:
     outside the transport (coherence, acks, fault-free machines)."""
 
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    prefix: str = field(init=False, repr=False, default="")
+    """Interned routing prefix: ``kind`` up to the first dot."""
+
+    def __post_init__(self):
+        kind = self.kind
+        prefix = _prefix_of.get(kind)
+        if prefix is None:
+            prefix = _prefix_of[kind] = sys.intern(kind.partition(".")[0])
+        self.prefix = prefix
 
     def __repr__(self) -> str:
         return (

@@ -3,15 +3,21 @@
 Components at each tile register a handler per message-kind prefix; the
 network routes messages over the link fabric and dispatches them to the
 destination tile's handler.  Delivery is exactly-once and per-link FIFO.
+
+Hot-path layout: every message pays ``inject`` + one ``_dispatch``, so
+the per-call stat lookups (dict hit + f-string per counter) are hoisted
+into attributes bound at construction, handler dispatch is a per-tile
+dict indexed by the message's precomputed ``prefix`` (no tuple key
+allocation), and routes are memoized per (src, dst) pair.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.params import NocParams
-from repro.common.stats import StatSet
+from repro.common.stats import Counter, StatSet
 from repro.common.types import TileId
 from repro.noc.message import Message
 from repro.noc.router import LinkFabric
@@ -30,8 +36,14 @@ class Network:
         self.topology = MeshTopology(n_tiles)
         self.stats = StatSet("noc")
         self.fabric = LinkFabric(sim, self.params, self.stats)
-        self._handlers: Dict[Tuple[TileId, str], Handler] = {}
+        self._tile_handlers: List[Dict[str, Handler]] = [
+            {} for _ in range(self.topology.n_tiles)
+        ]
         self._route_cache: Dict[Tuple[TileId, TileId], Tuple] = {}
+        self._messages_sent = self.stats.counter("messages_sent")
+        self._messages_delivered = self.stats.counter("messages_delivered")
+        self._latency = self.stats.histogram("latency")
+        self._sent_by_prefix: Dict[str, Counter] = {}
         self.injector = None
         """Optional :class:`repro.faults.FaultInjector` consulted at
         injection (extra delay) and final-hop delivery (drop/duplicate).
@@ -50,18 +62,21 @@ class Network:
     def register(self, tile: TileId, prefix: str, handler: Handler) -> None:
         """Register the receiver for messages whose kind starts with
         ``prefix`` (e.g. ``"coh"`` or ``"msa"``) at ``tile``."""
-        key = (tile, prefix)
-        if key in self._handlers:
-            raise SimulationError(f"handler already registered for {key}")
-        self._handlers[key] = handler
+        handlers = self._tile_handlers[tile]
+        if prefix in handlers:
+            raise SimulationError(
+                f"handler already registered for {(tile, prefix)}"
+            )
+        handlers[prefix] = handler
 
     def send(self, message: Message) -> None:
         """Inject a message; it will be delivered to the destination
         tile's handler after routing latency + contention.  Accelerator
         traffic detours through the reliable transport when a fault
         plan armed one."""
-        if self.transport is not None and self.transport.covers(message.kind):
-            self.transport.send(message)
+        transport = self.transport
+        if transport is not None and message.prefix in transport.covered:
+            transport.send(message)
             return
         self.inject(message)
 
@@ -69,19 +84,22 @@ class Network:
         """Put a message on the wire (no reliability layering; the
         transport's own sends and retransmissions come through here)."""
         message.injected_at = self.sim.now
-        self.stats.counter("messages_sent").inc()
-        self.stats.counter(f"sent.{message.kind.split('.')[0]}").inc()
-        hops = self._hops(message.src, message.dst)
+        self._messages_sent.value += 1
+        prefix = message.prefix
+        sent = self._sent_by_prefix.get(prefix)
+        if sent is None:
+            sent = self._sent_by_prefix[prefix] = self.stats.counter(
+                "sent." + prefix
+            )
+        sent.value += 1
+        key = (message.src, message.dst)
+        links = self._route_cache.get(key)
+        if links is None:
+            links = self._route_cache[key] = self.fabric.route(
+                self.topology.links_on_route(message.src, message.dst)
+            )
         extra = 0 if self.injector is None else self.injector.send_delay(message)
-        self.fabric.traverse(hops, lambda: self._deliver(message), extra)
-
-    def _hops(self, src: TileId, dst: TileId) -> Tuple:
-        key = (src, dst)
-        cached = self._route_cache.get(key)
-        if cached is None:
-            cached = tuple(self.topology.links_on_route(src, dst))
-            self._route_cache[key] = cached
-        return cached
+        self.fabric.traverse(links, self._deliver, message, extra)
 
     def _deliver(self, message: Message) -> None:
         """Final-hop arrival: apply delivery faults, then hand covered
@@ -90,7 +108,7 @@ class Network:
             deliver, dup_after = self.injector.deliver_verdict(message)
             if dup_after is not None:
                 # The duplicate skips the verdict (no fractal re-rolls).
-                self.sim.schedule(dup_after, lambda: self._arrive(message))
+                self.sim.schedule(dup_after, self._arrive, message)
             if not deliver:
                 return
         self._arrive(message)
@@ -102,15 +120,14 @@ class Network:
             self._dispatch(message)
 
     def _dispatch(self, message: Message) -> None:
-        prefix = message.kind.split(".", 1)[0]
-        handler = self._handlers.get((message.dst, prefix))
+        handler = self._tile_handlers[message.dst].get(message.prefix)
         if handler is None:
             raise SimulationError(
-                f"no handler for {prefix!r} messages at tile {message.dst} "
-                f"(message: {message})"
+                f"no handler for {message.prefix!r} messages at tile "
+                f"{message.dst} (message: {message})"
             )
-        self.stats.counter("messages_delivered").inc()
-        self.stats.histogram("latency").add(self.sim.now - message.injected_at)
+        self._messages_delivered.value += 1
+        self._latency.add(self.sim.now - message.injected_at)
         if self.probe is not None:
             self.probe.emit(
                 "noc_deliver",

@@ -7,16 +7,24 @@ captures the two NoC effects that matter for synchronization studies --
 hop-proportional latency and hot-spot queuing -- at a small fraction of
 the event cost of a flit-accurate model (the paper used Booksim; see
 DESIGN.md for the substitution rationale).
+
+Traversal is the single hottest code path in the whole simulator (one
+event per hop per message), so :meth:`LinkFabric._cross` carries its
+state in a plain tuple scheduled with the kernel's ``(callback, arg)``
+form -- no per-hop closures, no copy of the hop list -- and performs
+the link reservation inline rather than through :meth:`Link.reserve` /
+:attr:`Link.queue_delay` (both kept for tests and occasional callers).
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, Tuple
 
 from repro.common.params import NocParams
 from repro.common.stats import StatSet
 from repro.common.types import TileId
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import NO_ARG, Simulator
 
 
 class Link:
@@ -61,44 +69,78 @@ class LinkFabric:
         self._links: Dict[Tuple[TileId, TileId], Link] = {}
         occupancy = params.link_latency + params.flits_per_message - 1
         self._occupancy = max(1, occupancy)
+        # Lazily registered on first stall so an uncontended run's
+        # counter set matches the pre-optimization network exactly.
+        self._stall_cycles = None
+        self._router_latency = params.router_latency
+        self._injection_latency = params.injection_latency
 
     def link(self, src: TileId, dst: TileId) -> Link:
         key = (src, dst)
-        if key not in self._links:
-            self._links[key] = Link(self.sim, self._occupancy)
-        return self._links[key]
+        link = self._links.get(key)
+        if link is None:
+            link = self._links[key] = Link(self.sim, self._occupancy)
+        return link
+
+    def route(self, hops) -> Tuple[Link, ...]:
+        """Resolve directed ``(src, dst)`` hop pairs to their Link
+        objects (callers cache the result per route so traversal never
+        touches the link dictionary)."""
+        return tuple(self.link(src, dst) for src, dst in hops)
 
     def traverse(
         self,
-        hops: Tuple[Tuple[TileId, TileId], ...],
-        deliver: Callable[[], None],
+        links: Tuple[Link, ...],
+        deliver: Callable,
+        deliver_arg=NO_ARG,
         extra_delay: int = 0,
     ) -> None:
-        """Send a message across ``hops`` (directed links, in order).
+        """Send a message across ``links`` (from :meth:`route`, in hop
+        order).
 
-        Local delivery (no hops) still pays the injection latency.
-        ``extra_delay`` models a fault-injected stall at the NIC before
-        the message enters the fabric.
+        Local delivery (no links) still pays the injection latency.
+        ``deliver`` is invoked as ``deliver(deliver_arg)`` (or bare when
+        no argument is given).  ``extra_delay`` models a fault-injected
+        stall at the NIC before the message enters the fabric.
         """
-        delay = self.params.injection_latency + extra_delay
-        if not hops:
-            self.sim.schedule(delay, deliver)
+        delay = self._injection_latency + extra_delay
+        if not links:
+            self.sim.schedule(delay, deliver, deliver_arg)
             return
-        self._advance(list(hops), 0, delay, deliver)
+        self.sim.schedule(delay, self._cross, (links, 0, deliver, deliver_arg))
 
-    def _advance(self, hops, index, base_delay, deliver) -> None:
-        """Schedule traversal of ``hops[index]`` after ``base_delay``."""
-
-        def cross():
-            link = self.link(*hops[index])
-            waited = link.queue_delay
-            if waited:
-                self.stats.counter("link_stall_cycles").inc(waited)
-            finish = link.reserve()
-            remaining = finish - self.sim.now + self.params.router_latency
-            if index + 1 < len(hops):
-                self._advance(hops, index + 1, remaining, deliver)
-            else:
-                self.sim.schedule(remaining, deliver)
-
-        self.sim.schedule(base_delay, cross)
+    def _cross(self, state) -> None:
+        """One hop of a traversal: reserve ``links[index]``, then chain
+        to the next hop or the delivery callback."""
+        links, index, deliver, deliver_arg = state
+        link = links[index]
+        sim = self.sim
+        now = sim.now
+        free_at = link._free_at
+        if free_at > now:
+            stall = self._stall_cycles
+            if stall is None:
+                stall = self._stall_cycles = self.stats.counter(
+                    "link_stall_cycles"
+                )
+            stall.value += free_at - now
+            start = free_at
+        else:
+            start = now
+        occupancy = link.occupancy_cycles
+        finish = start + occupancy
+        link._free_at = finish
+        link.busy_cycles += occupancy
+        when = finish + self._router_latency
+        index += 1
+        # Inlined Simulator.schedule (same seq discipline, same heap
+        # entry shape): the delay is non-negative by construction and
+        # this path runs once per hop of every message.
+        sim._seq = seq = sim._seq + 1
+        if index < len(links):
+            heappush(
+                sim._heap,
+                (when, seq, self._cross, (links, index, deliver, deliver_arg)),
+            )
+        else:
+            heappush(sim._heap, (when, seq, deliver, deliver_arg))

@@ -1,0 +1,49 @@
+"""Measured performance: microbenchmarks, reports, regression gates.
+
+The simulator's *results* are cycle counts and are bit-for-bit
+deterministic; its *speed* (host events/sec) is what this subsystem
+measures.  The two are kept rigorously separate: every benchmark record
+carries both the perf metrics (wall time, events/sec, peak RSS) and the
+determinism fingerprint (simulated cycles, events processed), and
+:func:`repro.perf.compare.compare` hard-fails when the fingerprints of
+two benchmark documents disagree -- a perf "win" that changes simulated
+behaviour is a bug, not a win.
+
+Entry points::
+
+    python -m repro perf                          # smoke suite + table
+    python -m repro perf --suite headline --out BENCH_PR4.json
+    python -m repro perf --compare benchmarks/BENCH_BASELINE.json
+    python -m repro perf --profile 25             # cProfile top-25
+
+or from code::
+
+    from repro import api
+    doc = api.bench(suite="smoke", repeat=3)
+
+See docs/PERF.md for the metric definitions, the JSON schema, and the
+determinism contract future optimizations must honour.
+"""
+
+from repro.perf.bench import (
+    SUITES,
+    BenchPoint,
+    calibrate,
+    measure_point,
+    run_suite,
+)
+from repro.perf.compare import CompareResult, compare
+from repro.perf.report import load_doc, render_table, write_doc
+
+__all__ = [
+    "BenchPoint",
+    "SUITES",
+    "calibrate",
+    "measure_point",
+    "run_suite",
+    "compare",
+    "CompareResult",
+    "load_doc",
+    "render_table",
+    "write_doc",
+]

@@ -69,6 +69,11 @@ class ThreadCtx:
         queues) are implementation detail, not workload shared state,
         and must not feed the race detector."""
 
+        # Hot-path stat handles, registered lazily so a thread that
+        # never spins or syncs keeps its pre-existing counter set.
+        self._sync_counters: dict = {}
+        self._spin_polls = None
+
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
@@ -93,7 +98,8 @@ class ThreadCtx:
 
     def load(self, addr: Address) -> Generator:
         value = yield self.machine.memory_system(self.core).load(addr)
-        yield from self._absorb_suspension()
+        if self.thread.suspended:
+            yield from self._absorb_suspension()
         probe = self._probe
         if probe is not None and probe.mem_active and not self._sync_depth:
             probe.emit("mem_read", tid=self.tid, addr=addr)
@@ -101,7 +107,8 @@ class ThreadCtx:
 
     def store(self, addr: Address, value: int) -> Generator:
         yield self.machine.memory_system(self.core).store(addr, value)
-        yield from self._absorb_suspension()
+        if self.thread.suspended:
+            yield from self._absorb_suspension()
         probe = self._probe
         if probe is not None and probe.mem_active and not self._sync_depth:
             probe.emit("mem_write", tid=self.tid, addr=addr)
@@ -110,7 +117,8 @@ class ThreadCtx:
     def rmw(self, addr: Address, fn) -> Generator:
         """Atomic read-modify-write; returns the old value."""
         old = yield self.machine.memory_system(self.core).rmw(addr, fn)
-        yield from self._absorb_suspension()
+        if self.thread.suspended:
+            yield from self._absorb_suspension()
         probe = self._probe
         if probe is not None and probe.mem_active and not self._sync_depth:
             probe.emit("mem_atomic", tid=self.tid, addr=addr)
@@ -149,8 +157,14 @@ class ThreadCtx:
                 self.stats.counter("sync_squashed").inc()
                 yield from self._absorb_suspension()
                 continue
-            yield from self._absorb_suspension()
-            self.stats.counter(f"sync.{op.value}.{result.value}").inc()
+            if self.thread.suspended:
+                yield from self._absorb_suspension()
+            counter = self._sync_counters.get((op, result))
+            if counter is None:
+                counter = self._sync_counters[(op, result)] = self.stats.counter(
+                    f"sync.{op.value}.{result.value}"
+                )
+            counter.value += 1
             return result
 
     def spin_until(self, addr: Address, predicate, max_backoff: int = 64) -> Generator:
@@ -163,7 +177,10 @@ class ThreadCtx:
             value = yield from self.load(addr)
             if predicate(value):
                 return value
-            self.stats.counter("spin_polls").inc()
+            polls = self._spin_polls
+            if polls is None:
+                polls = self._spin_polls = self.stats.counter("spin_polls")
+            polls.value += 1
             yield backoff
             backoff = min(max_backoff, backoff * 2)
 

@@ -14,15 +14,35 @@ The machine model mixes two styles:
 Events at the same timestamp fire in scheduling order (a monotonically
 increasing sequence number breaks ties), which makes runs bit-for-bit
 deterministic for a given seed and configuration.
+
+Hot-path conventions (this module carries every simulated cycle; see
+docs/PERF.md for the measured effect and the determinism contract):
+
+* :meth:`Simulator.schedule` takes an optional ``arg`` so call sites
+  can pass a bound method plus its argument instead of allocating a
+  closure per event; the event loop applies the argument itself.
+* :class:`Process` caches its bound ``_step`` once, so resuming a
+  coroutine (including via :meth:`Future.complete`) never re-creates a
+  bound-method object, and dispatches the common ``int`` yield inline.
+* Live processes are tracked in a dict keyed by ``id`` so releasing a
+  finished process is O(1); releasing one twice is a kernel bug and
+  raises instead of being swallowed.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.common.errors import SimulationError
+
+#: Sentinel for "scheduled without an argument": the event loop calls
+#: ``callback()`` when it sees this, ``callback(arg)`` otherwise.  A
+#: sentinel (not ``None``) so ``None`` remains a passable argument.
+NO_ARG = object()
+
+_NO_ARG = NO_ARG
 
 
 @dataclass(frozen=True)
@@ -65,13 +85,15 @@ class Future:
             raise SimulationError("Future completed twice")
         self._done = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(value)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(value)
 
     def complete_at(self, delay: int, value: Any = None) -> None:
         """Fulfil the future ``delay`` cycles from now."""
-        self.sim.schedule(delay, lambda: self.complete(value))
+        self.sim.schedule(delay, self.complete, value)
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         if self._done:
@@ -97,6 +119,17 @@ class Process:
     completes so parents can join.
     """
 
+    __slots__ = (
+        "sim",
+        "body",
+        "name",
+        "finished",
+        "result",
+        "on_exit",
+        "_waiting_on",
+        "_step_cb",
+    )
+
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "?"):
         self.sim = sim
         self.body = body
@@ -105,9 +138,12 @@ class Process:
         self.result: Any = None
         self.on_exit = Future(sim)
         self._waiting_on: Optional[Future] = None
+        # One bound method for the process's whole life: every resume
+        # (timer or future completion) reuses it instead of re-binding.
+        self._step_cb = self._step
 
     def start(self, delay: int = 0) -> "Process":
-        self.sim.schedule(delay, lambda: self._step(None))
+        self.sim.schedule(delay, self._step_cb, None)
         return self
 
     @property
@@ -126,16 +162,25 @@ class Process:
             self.on_exit.complete(stop.value)
             self.sim._release(self)
             return
-        self._dispatch(yielded)
+        cls = type(yielded)
+        if cls is int:
+            self.sim.schedule(yielded, self._step_cb, None)
+        elif cls is Future:
+            self._waiting_on = yielded
+            yielded.add_callback(self._step_cb)
+        else:
+            self._dispatch(yielded)
 
     def _dispatch(self, yielded: Any) -> None:
+        # Slow path: Delay objects plus int/Future subclasses (bools,
+        # test doubles); exact types were fast-pathed in _step.
         if isinstance(yielded, int):
-            self.sim.schedule(yielded, lambda: self._step(None))
+            self.sim.schedule(yielded, self._step_cb, None)
         elif isinstance(yielded, Delay):
-            self.sim.schedule(yielded.cycles, lambda: self._step(None))
+            self.sim.schedule(yielded.cycles, self._step_cb, None)
         elif isinstance(yielded, Future):
             self._waiting_on = yielded
-            yielded.add_callback(self._step)
+            yielded.add_callback(self._step_cb)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value "
@@ -151,15 +196,20 @@ class Simulator:
         self._heap: List = []
         self._seq = 0
         self._events_processed = 0
-        self._processes: List[Process] = []
+        self._processes: Dict[int, Process] = {}
 
-    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+    def schedule(
+        self, delay: int, callback: Callable, arg: Any = _NO_ARG
+    ) -> None:
         """Run ``callback`` ``delay`` cycles from now (0 = this cycle,
-        after currently executing events)."""
+        after currently executing events).
+
+        With ``arg``, the loop calls ``callback(arg)`` -- pass a bound
+        method and its operand instead of wrapping them in a lambda."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self.now + delay, seq, callback, arg))
 
     def future(self) -> Future:
         return Future(self)
@@ -167,7 +217,7 @@ class Simulator:
     def process(self, body: ProcessBody, name: str = "?", delay: int = 0) -> Process:
         """Create and start a coroutine process."""
         proc = Process(self, body, name=name)
-        self._processes.append(proc)
+        self._processes[id(proc)] = proc
         return proc.start(delay)
 
     def run(
@@ -181,24 +231,59 @@ class Simulator:
         ``max_events`` bounds work (guards against livelock in tests) and
         applies per invocation, not cumulatively across ``run()`` calls.
         """
-        events_this_run = 0
-        while self._heap:
-            when, _seq, callback = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            if max_events is not None and events_this_run >= max_events:
-                # Checked before the pop so exactly max_events events run;
-                # the offending event stays queued and events_processed
-                # counts only executed events.
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at cycle {self.now}"
-                )
-            heapq.heappop(self._heap)
-            self.now = when
-            self._events_processed += 1
-            events_this_run += 1
-            callback()
+        heap = self._heap
+        no_arg = _NO_ARG
+        count = 0
+        try:
+            if until is None and max_events is None:
+                # Unbounded drain: no per-event limit checks.
+                while heap:
+                    when, _seq, callback, arg = heappop(heap)
+                    self.now = when
+                    count += 1
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+            elif until is None:
+                # Event-budget-only drain (the workload runner's guard
+                # rail): one integer compare per event, no clock peek.
+                while heap:
+                    if count == max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"at cycle {self.now}"
+                        )
+                    when, _seq, callback, arg = heappop(heap)
+                    self.now = when
+                    count += 1
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+            else:
+                while heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return until
+                    if max_events is not None and count >= max_events:
+                        # Checked before the pop so exactly max_events
+                        # events run; the offending event stays queued and
+                        # events_processed counts only executed events.
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"at cycle {self.now}"
+                        )
+                    _when, _seq, callback, arg = heappop(heap)
+                    self.now = _when
+                    count += 1
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+        finally:
+            self._events_processed += count
         return self.now
 
     @property
@@ -211,10 +296,11 @@ class Simulator:
 
     def _release(self, proc: Process) -> None:
         """Drop a finished process so long runs don't accumulate them."""
-        try:
-            self._processes.remove(proc)
-        except ValueError:
-            pass
+        if self._processes.pop(id(proc), None) is None:
+            raise SimulationError(
+                f"process {proc.name!r} released twice (or never "
+                f"registered via Simulator.process)"
+            )
 
     def unfinished_processes(self) -> List[Process]:
-        return [p for p in self._processes if not p.finished]
+        return [p for p in self._processes.values() if not p.finished]
