@@ -43,15 +43,20 @@ __all__ = [
     "run",
     "sweep",
     "bench",
+    "observe",
+    "report",
     "RunResult",
     "__version__",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Facade names resolved lazily so ``import repro`` stays light (the
 #: harness pulls in the whole machine model) and free of import cycles.
-_API_NAMES = ("build", "run", "sweep", "bench", "RunResult", "Engine", "JobSpec")
+_API_NAMES = (
+    "build", "run", "sweep", "bench", "observe", "report",
+    "RunResult", "Engine", "JobSpec",
+)
 
 
 def __getattr__(name):

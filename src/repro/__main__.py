@@ -10,6 +10,10 @@ the parallel engine::
     python -m repro verify --workload fluidanimate --config msa-omu-2
     python -m repro sweep --configs pthread msa-omu-2 \\
         --workloads canneal swaptions --workers 4 --csv out.csv
+    python -m repro obs --config msa-omu-2 --workload streamcluster \\
+        --trace trace.json --metrics metrics.prom --html run.html
+    python -m repro report --cache-dir ~/.cache/repro \\
+        --baseline pthread --out report.html
     python -m repro all --workers 8 --cache-dir ~/.cache/repro
 
 ``--check`` (on run/sweep/chaos) attaches every :mod:`repro.verify`
@@ -33,7 +37,8 @@ from repro.harness import experiments
 
 FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
 COMMANDS = ("table1",) + FIGURES + (
-    "headline", "chaos", "run", "verify", "sweep", "perf", "all",
+    "headline", "chaos", "run", "verify", "sweep", "perf", "obs",
+    "report", "all",
 )
 
 
@@ -187,6 +192,62 @@ def _run_perf(args) -> int:
         result = compare(doc, baseline, threshold=args.threshold)
         print(result.describe())
         return 0 if result.ok else 1
+    return 0
+
+
+def _run_obs(args) -> int:
+    from repro import api
+    from repro.obs import render_run_report
+
+    result, obs = api.observe(
+        args.config,
+        args.workload,
+        cores=args.cores[0] if isinstance(args.cores, list) else args.cores,
+        seed=args.seed,
+        scale=args.scale,
+        span_limit=args.span_limit,
+        checkers=True if args.check else (),
+        raise_violations=False,
+    )
+    print(result.describe())
+    print(obs.describe())
+    if args.spans:
+        obs.to_jsonl(args.spans)
+        print(f"wrote spans to {args.spans}")
+    if args.trace:
+        obs.to_chrome_trace(args.trace)
+        print(f"wrote Chrome trace to {args.trace} (open in Perfetto)")
+    if args.metrics:
+        obs.registry.to_prometheus(args.metrics)
+        print(f"wrote Prometheus metrics to {args.metrics}")
+    if args.metrics_jsonl:
+        obs.registry.to_jsonl(args.metrics_jsonl)
+        print(f"wrote metrics JSONL to {args.metrics_jsonl}")
+    if args.html:
+        with open(args.html, "w") as f:
+            f.write(render_run_report(result, obs))
+        print(f"wrote HTML run report to {args.html}")
+    if result.check_report is not None and not result.check_report["ok"]:
+        return 1
+    return 0
+
+
+def _run_report(args) -> int:
+    from repro.obs import report_from_cache
+
+    bench_doc = None
+    if args.bench:
+        from repro.perf import load_doc
+
+        bench_doc = load_doc(args.bench)
+    out = report_from_cache(
+        args.cache_dir,
+        args.out,
+        baseline=args.baseline,
+        title=args.title,
+        bench_doc=bench_doc,
+    )
+    print(f"wrote {out}")
     return 0
 
 
@@ -355,6 +416,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "obs",
+        help="run one observed point: spans, Chrome trace, Prometheus "
+        "metrics, HTML run report; see docs/OBSERVABILITY.md",
+    )
+    add_common(p, cores_default=[16])
+    p.add_argument("--config", default="msa-omu-2")
+    p.add_argument("--workload", default="streamcluster")
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--span-limit",
+        type=int,
+        default=None,
+        help="per-name retained-span cap (aggregates stay exact beyond it)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="also attach every invariant monitor (shares the probe)",
+    )
+    p.add_argument("--spans", default=None, help="write span JSONL here")
+    p.add_argument(
+        "--trace", default=None, help="write Chrome trace-event JSON here"
+    )
+    p.add_argument(
+        "--metrics", default=None, help="write Prometheus text format here"
+    )
+    p.add_argument(
+        "--metrics-jsonl", default=None, help="write metrics JSONL here"
+    )
+    p.add_argument("--html", default=None, help="write the HTML run report here")
+
+    p = sub.add_parser(
+        "report",
+        help="render the cross-sweep HTML report from a result cache "
+        "(no re-simulation)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        required=True,
+        help="result-cache root a sweep wrote (--cache-dir/REPRO_CACHE_DIR)",
+    )
+    p.add_argument("--out", default="report.html", help="output HTML path")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="config name to compute speedups against (e.g. pthread)",
+    )
+    p.add_argument("--title", default=None, help="report title")
+    p.add_argument(
+        "--bench",
+        default=None,
+        metavar="BENCH.json",
+        help="also include a repro.perf benchmark document section",
+    )
+
+    p = sub.add_parser(
         "sweep", help="ad-hoc grid through the parallel engine"
     )
     add_common(p, cores_default=[16])
@@ -388,6 +505,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "obs":
+        return _run_obs(args)
+    if args.command == "report":
+        return _run_report(args)
     names = (
         ("table1",) + FIGURES + ("headline", "chaos")
         if args.command == "all"

@@ -46,6 +46,8 @@ __all__ = [
     "run",
     "sweep",
     "bench",
+    "observe",
+    "report",
     "Machine",
     "RunResult",
     "SweepPoint",
@@ -181,6 +183,64 @@ def bench(
                 "benchmark regression gate failed:\n" + result.describe()
             )
     return doc
+
+
+def observe(
+    machine_or_config: Union[Machine, str],
+    workload: Union[Workload, str, Callable],
+    cores: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+    span_limit: Optional[int] = None,
+    checkers=(),
+    **run_kwargs,
+):
+    """Run one workload with the observability collector attached.
+
+    Same signature spirit as :func:`run`, returning ``(result, obs)``
+    where ``obs`` is the finalized :class:`repro.obs.ObsResult` (span
+    forest, unified metrics registry, OMU timeline).  Observation is
+    passive: ``result`` is bit-for-bit identical to an unobserved
+    :func:`run` of the same point.
+
+    >>> result, obs = observe("msa-omu-2", "streamcluster",
+    ...                       cores=4, scale=0.05)
+    >>> result.cycles == run("msa-omu-2", "streamcluster",
+    ...                      cores=4, scale=0.05).cycles
+    True
+    >>> sorted(obs.attribution())[:2]
+    ['barrier.wait', 'lock.acquire']
+    """
+    from repro.obs import DEFAULT_SPAN_LIMIT, Collector
+
+    if isinstance(machine_or_config, Machine):
+        machine = machine_or_config
+    else:
+        machine = build(machine_or_config, cores=cores or 16, seed=seed)
+    collector = Collector.attach(
+        machine,
+        span_limit=span_limit if span_limit is not None else DEFAULT_SPAN_LIMIT,
+    )
+    result = run(
+        machine,
+        workload,
+        scale=scale,
+        checkers=checkers,
+        **run_kwargs,
+    )
+    if isinstance(machine_or_config, str):
+        result.config = machine_or_config
+    return result, collector.finalize()
+
+
+def report(cache_dir, out, baseline: Optional[str] = None, title=None):
+    """Render the cross-sweep HTML report from a result cache -- pure
+    deserialization, nothing is re-simulated.  Returns the output path.
+    See :func:`repro.obs.report_from_cache` (and ``python -m repro
+    report`` for the CLI form)."""
+    from repro.obs import report_from_cache
+
+    return report_from_cache(cache_dir, out, baseline=baseline, title=title)
 
 
 def sweep(

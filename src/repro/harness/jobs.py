@@ -231,6 +231,25 @@ class ResultCache:
         }
         _atomic_write_json(path, payload)
 
+    def entries(self):
+        """Iterate every readable cache entry as ``(spec_summary,
+        RunResult)`` pairs, in deterministic (key-sorted) order.
+
+        The spec summary is the human-readable dict stored by
+        :meth:`put` (config/workload/cores/scale/seed).  This is the
+        read path for report-from-cache (``python -m repro report``):
+        it never simulates, it only deserializes what finished sweeps
+        left behind.  Torn or foreign files are skipped.
+        """
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                data = json.loads(path.read_text())
+                spec = data["spec"]
+                result = RunResult.from_dict(data["result"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            yield spec, result
+
 
 def _atomic_write_json(path: Path, payload) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)

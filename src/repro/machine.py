@@ -47,6 +47,11 @@ class Machine:
         un-checked hot path pays one attribute test per call site."""
 
         self.checker_suite = None
+        self.collector = None
+        """Observability collector (:class:`repro.obs.Collector`);
+        ``None`` unless :meth:`repro.obs.Collector.attach` wired one in.
+        Shares :attr:`probe` with the checker suite when both attach."""
+
         self.rng = DeterministicRng(params.seed, "machine")
         self.network = Network(self.sim, params.n_cores, params.noc)
 
@@ -178,6 +183,31 @@ class Machine:
     # ------------------------------------------------------------------
     # Aggregated statistics
     # ------------------------------------------------------------------
+    def stat_sets(self):
+        """Yield ``(prefix, StatSet, labels)`` for every stats-bearing
+        component: the NoC, each MSA slice and sync unit, the futex
+        service, and (via :meth:`MemoryFabric.stat_sets`) each cache
+        and directory.  This is the single enumeration the unified
+        :class:`repro.obs.MetricsRegistry` ingests -- a new subsystem
+        with a ``StatSet`` only needs a line here to appear in every
+        exporter and report."""
+        yield "noc.", self.network.stats, {}
+        for sl in self.msa_slices:
+            yield "msa.", sl.stats, {"tile": sl.tile}
+        for core, unit in enumerate(self.sync_units):
+            yield "sync.", unit.stats, {"core": core}
+        yield "futex.", self.futex.stats, {}
+        if self.ideal_oracle is not None:
+            yield "ideal.", self.ideal_oracle.stats, {}
+        for prefix, stats, labels in self.memory.stat_sets():
+            yield prefix, stats, labels
+        if self.fault_injector is not None:
+            yield "fault.injector.", self.fault_injector.stats, {}
+        if self.transport is not None:
+            yield "fault.transport.", self.transport.stats, {}
+        if self.fault_plane is not None:
+            yield "fault.plane.", self.fault_plane.stats, {}
+
     def msa_counters(self) -> Dict[str, int]:
         return merge_counters(s.stats for s in self.msa_slices)
 

@@ -81,6 +81,14 @@ class MemoryFabric:
     def memory_system(self, core: CoreId) -> MemorySystem:
         return self._memory_systems[core]
 
+    def stat_sets(self):
+        """Yield ``(prefix, StatSet, labels)`` for every stats-bearing
+        memory component (the observability registry's ingest shape)."""
+        for tile, directory in enumerate(self.directories):
+            yield "dir.", directory.stats, {"tile": tile}
+        for core, l1 in enumerate(self.l1s):
+            yield "l1.", l1.stats, {"core": core}
+
     def peek(self, addr: int) -> int:
         """Read the backing store without any simulated traffic
         (debug/verification only)."""

@@ -324,6 +324,11 @@ class MSASlice:
             return None
         if self._omu_active(addr):
             self.stats.counter("omu_steered_sw").inc()
+            if self.probe is not None:
+                self.probe.emit(
+                    "omu_steer", addr=addr, aux=sync_type.value,
+                    tile=self.tile,
+                )
             return None
         if self.full and not self._evict_one_evictable():
             if replay is not None and self._defer_on_reclaim(replay):

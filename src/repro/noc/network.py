@@ -92,6 +92,12 @@ class Network:
                 "sent." + prefix
             )
         sent.value += 1
+        probe = self.probe
+        if probe is not None and probe.noc_active:
+            probe.emit(
+                "noc_send", tid=message.src, tile=message.dst,
+                aux=message.kind,
+            )
         key = (message.src, message.dst)
         links = self._route_cache.get(key)
         if links is None:

@@ -141,11 +141,32 @@ class Tracer:
         Every event becomes an instant event (``ph: "i"``) on a virtual
         thread per ``where`` (component), under one process per
         category; ``detail`` rides in ``args``.  Cycle timestamps map
-        directly onto the format's microsecond field."""
+        directly onto the format's microsecond field.
+
+        The export is schema-valid for Perfetto/``chrome://tracing``:
+        every record -- including the process/thread metadata and the
+        capacity-drop marker -- carries integer ``pid`` and ``tid``
+        fields (viewers silently discard records without them).
+        Capacity drops are reported as one instant event on a dedicated
+        ``tracer`` thread, mirroring :meth:`to_jsonl`'s metadata line,
+        so truncation is visible in the timeline instead of silently
+        missing.  Span-shaped traces come from the observability layer
+        (:func:`repro.obs.export.spans_to_chrome_trace`), which
+        supersedes this raw-event export for everything paired.
+        """
         events = self.filter(**filters)
         wheres = sorted({e.where for e in events})
-        tids = {where: index for index, where in enumerate(wheres)}
+        tids = {where: index + 1 for index, where in enumerate(wheres)}
         out = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "repro.tracer"},
+            }
+        ]
+        out += [
             {
                 "name": "thread_name",
                 "ph": "M",
@@ -168,7 +189,30 @@ class Tracer:
                     "args": {"detail": [str(d) for d in e.detail]},
                 }
             )
-        text = json.dumps({"traceEvents": out})
+        if self.dropped:
+            last = events[-1].time if events else 0
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"name": "tracer"},
+                }
+            )
+            out.append(
+                {
+                    "name": f"{self.dropped} events dropped at capacity",
+                    "cat": "tracer",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": last,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"dropped": self.dropped},
+                }
+            )
+        text = json.dumps({"traceEvents": out, "displayTimeUnit": "ns"})
         if path is not None:
             with open(path, "w") as f:
                 f.write(text)

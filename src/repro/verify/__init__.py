@@ -117,16 +117,37 @@ def resolve_monitors(
 
 
 class CheckerSuite:
-    """Owns the probe, the monitors, and the accumulated findings."""
+    """Owns the probe, the monitors, and the accumulated findings.
 
-    def __init__(self, machine, monitors, fail_fast: bool = False):
+    Built by :func:`attach_checkers` (one suite per machine, attach
+    before spawning threads); monitors publish into it via
+    :meth:`report_violation` / :meth:`report_race`, and
+    :meth:`report` snapshots everything as a :class:`CheckReport`.
+    Pass ``probe=`` to share an existing bus (an observability
+    :class:`repro.obs.Collector` and a suite can listen on one probe).
+
+    >>> from repro import api
+    >>> from repro.verify import attach_checkers
+    >>> machine = api.build("msa-omu-2", cores=4)
+    >>> suite = attach_checkers(machine)
+    >>> result = api.run(machine, "streamcluster", scale=0.05)
+    >>> report = suite.report()
+    >>> report.ok and report.events_observed > 0
+    True
+    >>> sorted(report.monitors)[:2]
+    ['barrier-epoch', 'condvar-wakeup']
+    """
+
+    def __init__(
+        self, machine, monitors, fail_fast: bool = False, probe=None
+    ):
         self.machine = machine
         self.monitors: List[Monitor] = monitors
         self.fail_fast = fail_fast
         self.violations: List[Violation] = []
         self.races: List[RaceRecord] = []
         self.oracle_summary: Dict = {}
-        self.probe = Probe(machine.sim)
+        self.probe = probe if probe is not None else Probe(machine.sim)
         for monitor in self.monitors:
             monitor.attach(machine, self.probe, self)
 
@@ -167,15 +188,22 @@ def attach_checkers(
 ) -> CheckerSuite:
     """Wire a checker suite into ``machine``.
 
-    Creates the probe, points every probe-aware component at it
-    (thread contexts pick it up from ``machine.probe`` when spawned),
-    and subscribes the requested monitors.  Attach *before* spawning
+    Creates the probe (or reuses the one an observability
+    :class:`repro.obs.Collector` already wired in -- both listen on the
+    same bus), points every probe-aware component at it (thread
+    contexts pick it up from ``machine.probe`` when spawned), and
+    subscribes the requested monitors.  Attach *before* spawning
     threads; one suite per machine."""
-    if getattr(machine, "probe", None) is not None:
+    if getattr(machine, "checker_suite", None) is not None:
         raise InvariantViolation(
             "a checker suite is already attached to this machine"
         )
-    suite = CheckerSuite(machine, resolve_monitors(monitors), fail_fast)
+    suite = CheckerSuite(
+        machine,
+        resolve_monitors(monitors),
+        fail_fast,
+        probe=getattr(machine, "probe", None),
+    )
     machine.probe = suite.probe
     machine.checker_suite = suite
     for sl in machine.msa_slices:

@@ -27,13 +27,19 @@ msa_alloc          MSA slice allocated an entry (aux = (type, live))
 msa_free           MSA slice dropped an entry (aux = reason)
 msa_kill           MSA slice failed stop (fault plane)
 omu_inc/omu_dec    OMU charge/discharge at a slice (aux = amount)
+omu_steer          OMU-saturated slice steered an allocation to the
+                   software fallback (aux = sync type value)
+noc_send           Network accepted a message for injection
+                   (tid = src tile, tile = dst, aux = kind); emitted
+                   only when a subscriber opted in (``noc_active``)
 noc_deliver        Network dispatched a message to its handler
                    (tid = src tile, tile = dst, aux = (kind, rel_seq))
 =================  ====================================================
 
-High-rate kinds (``mem_*``, ``noc_deliver``) are dispatched to
-subscribers but excluded from the sliding context window that violation
-reports quote, so the window stays a readable synchronization history.
+High-rate kinds (``mem_*``, ``noc_send``, ``noc_deliver``) are
+dispatched to subscribers but excluded from the sliding context window
+that violation reports quote, so the window stays a readable
+synchronization history.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from typing import Callable, Dict, List, Optional
 
 #: Kinds kept out of the violation-context window (too chatty).
 HIGH_RATE_KINDS = frozenset(
-    {"mem_read", "mem_write", "mem_atomic", "noc_deliver"}
+    {"mem_read", "mem_write", "mem_atomic", "noc_send", "noc_deliver"}
 )
 
 #: Kinds whose subscription turns on memory-access probing in ThreadCtx.
@@ -91,6 +97,11 @@ class Probe:
         """True once any monitor subscribed to a ``mem_*`` kind;
         ThreadCtx checks this so un-probed runs skip per-access events."""
 
+        self.noc_active = False
+        """True once anything subscribed to ``noc_send``; the network's
+        inject path checks this so send-side emission costs nothing
+        unless the observability layer opted in."""
+
         self._subs: Dict[str, List[Callable[[SyncEvent], None]]] = {}
         self._window: deque = deque(maxlen=window)
 
@@ -98,6 +109,8 @@ class Probe:
         self._subs.setdefault(kind, []).append(handler)
         if kind in MEM_KINDS:
             self.mem_active = True
+        if kind == "noc_send":
+            self.noc_active = True
 
     def emit(self, kind, tid=None, addr=None, aux=None, tile=None) -> None:
         event = SyncEvent(self.sim.now, kind, tid, addr, aux, tile)

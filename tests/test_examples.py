@@ -15,6 +15,7 @@ EXAMPLES = sorted(
 def test_examples_exist():
     names = {p.name for p in EXAMPLES}
     assert "quickstart.py" in names
+    assert "observability.py" in names
     assert len(EXAMPLES) >= 3
 
 

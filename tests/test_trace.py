@@ -171,11 +171,34 @@ class TestExport:
         events = data["traceEvents"]
         meta = [e for e in events if e["ph"] == "M"]
         instants = [e for e in events if e["ph"] == "i"]
-        # One thread-name record per distinct `where`, shared pid.
-        assert {m["args"]["name"] for m in meta} == {"slice0", "core1"}
+        # One thread-name record per distinct `where`, plus the process
+        # name, shared pid.
+        assert {m["args"]["name"] for m in meta} == {
+            "repro.tracer", "slice0", "core1",
+        }
         assert len(instants) == 3
         by_name = {e["name"]: e for e in instants}
         assert by_name["allocate"]["ts"] == 10
         assert by_name["allocate"]["cat"] == "msa"
         assert by_name["lock_acq"]["tid"] != by_name["allocate"]["tid"]
         assert by_name["respond"]["args"]["detail"] == ["success"]
+
+    def test_chrome_trace_schema_valid_with_drops(self):
+        """Every record -- including the capacity-drop marker -- must
+        carry integer pid/tid (viewers silently discard records without
+        them), and drops must be visible in the export."""
+        import json
+
+        sim = Simulator()
+        tracer = Tracer(sim, max_events=2)
+        tracer.enable("t")
+        for _ in range(5):
+            tracer.record("t", "x", "tick")
+        events = json.loads(tracer.to_chrome_trace())["traceEvents"]
+        for e in events:
+            assert isinstance(e["pid"], int), e
+            assert isinstance(e["tid"], int), e
+        markers = [e for e in events if e.get("cat") == "tracer"]
+        assert len(markers) == 1
+        assert markers[0]["args"]["dropped"] == 3
+        assert markers[0]["ph"] == "i"

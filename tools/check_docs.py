@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Documentation hygiene checker (run by the CI docs job and
+tests/test_docs.py).
+
+Three passes over README.md and docs/*.md:
+
+1. **Links** -- every relative markdown link target must exist on disk
+   (anchors are stripped; external http(s)/mailto links are skipped).
+2. **Path references** -- backticked repo paths (`docs/FOO.md`,
+   `examples/x.py`, `src/repro/...`, `tests/...`, `tools/...`,
+   `benchmarks/...`) must exist; stale references to renamed files
+   fail.
+3. **Orphans** -- every file under docs/ must be reachable from
+   docs/INDEX.md.
+
+With --doctest (the default), fenced ```python blocks that contain
+doctest prompts (>>>) are additionally executed with `doctest`, so the
+examples in the docs cannot rot.
+
+    PYTHONPATH=src python tools/check_docs.py
+    python tools/check_docs.py --no-doctest      # links/orphans only
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: [text](target) -- excluding images; target captured up to the ')'.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+#: Backticked repo-relative paths worth verifying.
+_PATH_RE = re.compile(
+    r"`((?:docs|examples|tests|tools|benchmarks|src/repro|repro)/"
+    r"[A-Za-z0-9_./-]+\.(?:py|md|json|yml))(?:::[A-Za-z0-9_.:]+)?`"
+)
+
+#: Fenced python code blocks (the info string may carry extras).
+_FENCE_RE = re.compile(r"```python[^\n]*\n(.*?)```", re.DOTALL)
+
+
+def doc_files() -> List[Path]:
+    """README plus everything under docs/, sorted for stable output."""
+    return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+
+def _resolve(base: Path, target: str) -> Path:
+    target = target.split("#", 1)[0]
+    return (base.parent / target).resolve()
+
+
+def _rel(doc: Path) -> str:
+    try:
+        return str(doc.relative_to(REPO))
+    except ValueError:
+        return str(doc)
+
+
+def check_links(files=None) -> List[str]:
+    """Return one error string per dangling relative link."""
+    errors = []
+    for doc in files or doc_files():
+        text = doc.read_text()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            if not _resolve(doc, target).exists():
+                errors.append(
+                    f"{_rel(doc)}: dangling link -> {target}"
+                )
+    return errors
+
+
+def check_path_refs(files=None) -> List[str]:
+    """Return one error string per backticked path that does not exist."""
+    errors = []
+    for doc in files or doc_files():
+        text = doc.read_text()
+        for match in _PATH_RE.finditer(text):
+            ref = match.group(1)
+            # `repro/...` is shorthand for the package under src/.
+            candidates = [REPO / ref]
+            if ref.startswith("repro/"):
+                candidates.append(REPO / "src" / ref)
+            if not any(c.exists() for c in candidates):
+                errors.append(
+                    f"{_rel(doc)}: stale path reference `{ref}`"
+                )
+    return errors
+
+
+def check_orphans() -> List[str]:
+    """Every doc under docs/ must be mentioned in docs/INDEX.md."""
+    index = REPO / "docs" / "INDEX.md"
+    if not index.exists():
+        return ["docs/INDEX.md is missing"]
+    text = index.read_text()
+    errors = []
+    for doc in sorted((REPO / "docs").glob("*.md")):
+        if doc.name != "INDEX.md" and doc.name not in text:
+            errors.append(f"docs/{doc.name}: not referenced by docs/INDEX.md")
+    return errors
+
+
+def doctest_blocks(files=None) -> Iterator[Tuple[Path, int, str]]:
+    """Yield (doc, block_index, source) for python fences with >>> lines."""
+    for doc in files or doc_files():
+        text = doc.read_text()
+        for i, match in enumerate(_FENCE_RE.finditer(text)):
+            block = match.group(1)
+            if ">>>" in block:
+                yield doc, i, block
+
+
+def run_doctests(files=None, verbose: bool = False) -> List[str]:
+    """Execute every doctest-bearing snippet; return failure strings."""
+    errors = []
+    parser = doctest.DocTestParser()
+    for doc, i, block in doctest_blocks(files):
+        name = f"{_rel(doc)}[block {i}]"
+        test = parser.get_doctest(block, {}, name, str(doc), 0)
+        runner = doctest.DocTestRunner(
+            verbose=verbose, optionflags=doctest.ELLIPSIS
+        )
+        out: List[str] = []
+        runner.run(test, out=out.append)
+        if runner.failures:
+            errors.append(f"{name}: {runner.failures} doctest failure(s)\n"
+                          + "".join(out))
+    return errors
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--no-doctest", action="store_true",
+                    help="skip executing docs snippets (links/orphans only)")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    errors = check_links() + check_path_refs() + check_orphans()
+    if not args.no_doctest:
+        errors += run_doctests(verbose=args.verbose)
+
+    for err in errors:
+        print(err, file=sys.stderr)
+    n_docs = len(doc_files())
+    n_blocks = sum(1 for _ in doctest_blocks())
+    print(f"checked {n_docs} docs, {n_blocks} doctest blocks: "
+          f"{len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
