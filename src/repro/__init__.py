@@ -45,17 +45,19 @@ __all__ = [
     "bench",
     "observe",
     "report",
+    "fsck",
+    "chaos_harness",
     "RunResult",
     "__version__",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Facade names resolved lazily so ``import repro`` stays light (the
 #: harness pulls in the whole machine model) and free of import cycles.
 _API_NAMES = (
     "build", "run", "sweep", "bench", "observe", "report",
-    "RunResult", "Engine", "JobSpec",
+    "fsck", "chaos_harness", "RunResult", "Engine", "JobSpec",
 )
 
 

@@ -38,7 +38,7 @@ from repro.harness import experiments
 FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
 COMMANDS = ("table1",) + FIGURES + (
     "headline", "chaos", "run", "verify", "sweep", "perf", "obs",
-    "report", "all",
+    "report", "fsck", "chaos-harness", "all",
 )
 
 
@@ -249,6 +249,48 @@ def _run_report(args) -> int:
     )
     print(f"wrote {out}")
     return 0
+
+
+def _run_fsck(args) -> int:
+    from pathlib import Path
+
+    from repro.resilience import fsck
+
+    if not Path(args.cache_dir).is_dir():
+        print(
+            f"python -m repro fsck: error: no cache directory at "
+            f"{args.cache_dir!r} (a clean bill for a typo'd path would "
+            "be a lie)",
+            file=sys.stderr,
+        )
+        return 2
+    report = fsck(
+        args.cache_dir,
+        manifest=args.manifest,
+        repair=not args.no_repair,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _run_chaos_harness(args) -> int:
+    from repro.resilience import chaos_harness
+
+    result = chaos_harness(
+        workdir=args.workdir,
+        workers=args.workers if args.workers is not None else 3,
+        seed=args.seed,
+        scale=args.scale,
+        cores=args.cores[0] if isinstance(args.cores, list) else args.cores,
+        kill_interval_s=args.kill_interval,
+        kill_first_leases=args.kill_leases,
+        corrupt_interval_s=args.corrupt_interval,
+        diskfull_puts=args.diskfull_puts,
+        retries=args.retries,
+        progress=args.progress,
+    )
+    print(result.describe())
+    return 0 if result.ok else 1
 
 
 def _run_sweep(args) -> int:
@@ -472,6 +514,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "fsck",
+        help="scan and repair a result cache, sweep manifest, and job "
+        "store (corrupt entries are evicted, torn manifests repaired)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        required=True,
+        help="result-cache root to scan (the job store next to it is "
+        "scanned automatically)",
+    )
+    p.add_argument(
+        "--manifest", default=None, help="sweep manifest to check/repair"
+    )
+    p.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report only; leave corrupt files in place",
+    )
+
+    p = sub.add_parser(
+        "chaos-harness",
+        help="crash-safety gauntlet: SIGKILL workers mid-point, corrupt "
+        "cache entries, fake disk-full -- then assert byte-identical "
+        "convergence with an undisturbed serial run (see docs/HARNESS.md)",
+    )
+    add_common(p, cores_default=[4])
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--workdir",
+        default=None,
+        help="where the chaotic cache/manifest live (default: temp dir)",
+    )
+    p.add_argument(
+        "--kill-interval",
+        type=float,
+        default=0.4,
+        metavar="S",
+        help="SIGKILL a random worker this often (seconds)",
+    )
+    p.add_argument(
+        "--kill-leases",
+        type=int,
+        default=2,
+        metavar="N",
+        help="SIGKILL the owners of the first N observed leases "
+        "(guaranteed mid-point kills, independent of point speed)",
+    )
+    p.add_argument(
+        "--corrupt-interval",
+        type=float,
+        default=0.7,
+        metavar="S",
+        help="byte-flip a random cache entry this often (seconds)",
+    )
+    p.add_argument(
+        "--diskfull-puts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="each worker's first N cache writes fail with ENOSPC",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=9,
+        help="per-point attempt budget before quarantine",
+    )
+
+    p = sub.add_parser(
         "sweep", help="ad-hoc grid through the parallel engine"
     )
     add_common(p, cores_default=[16])
@@ -509,6 +620,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_obs(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "fsck":
+        return _run_fsck(args)
+    if args.command == "chaos-harness":
+        return _run_chaos_harness(args)
     names = (
         ("table1",) + FIGURES + ("headline", "chaos")
         if args.command == "all"

@@ -48,6 +48,8 @@ __all__ = [
     "bench",
     "observe",
     "report",
+    "fsck",
+    "chaos_harness",
     "Machine",
     "RunResult",
     "SweepPoint",
@@ -241,6 +243,29 @@ def report(cache_dir, out, baseline: Optional[str] = None, title=None):
     from repro.obs import report_from_cache
 
     return report_from_cache(cache_dir, out, baseline=baseline, title=title)
+
+
+def fsck(cache_dir, manifest=None, repair: bool = True):
+    """Scan (and by default repair) a result cache, its job store, and
+    optionally a sweep manifest: torn writes, checksum mismatches,
+    schema drift, expired leases.  Corrupt entries are evicted (a
+    corrupt entry is a cache miss by contract -- the point re-runs).
+    Returns a :class:`repro.resilience.FsckReport`; see ``python -m
+    repro fsck`` for the CLI form."""
+    from repro.resilience import fsck as _fsck_impl
+
+    return _fsck_impl(cache_dir, manifest=manifest, repair=repair)
+
+
+def chaos_harness(**kwargs):
+    """Run the harness-level chaos gauntlet (worker SIGKILLs, cache
+    corruption, simulated disk-full) and verify the sweep still
+    converges byte-identically to an undisturbed serial run.  Returns a
+    :class:`repro.resilience.ChaosHarnessResult`; see ``python -m repro
+    chaos-harness`` and docs/HARNESS.md."""
+    from repro.resilience import chaos_harness as _chaos_impl
+
+    return _chaos_impl(**kwargs)
 
 
 def sweep(

@@ -20,11 +20,36 @@ class SimulationError(ReproError):
 class DeadlockError(SimulationError):
     """The event queue drained while threads were still blocked."""
 
-    def __init__(self, message: str, blocked: Optional[List] = None):
+    def __init__(
+        self,
+        message: str,
+        blocked: Optional[List] = None,
+        triage: Optional[dict] = None,
+    ):
         super().__init__(message)
         self.blocked: List = blocked if blocked is not None else []
         """The still-blocked :class:`~repro.runtime.thread.SimThread`
         objects, for post-mortem inspection by tests and the harness."""
+
+        self.triage: dict = triage if triage is not None else {}
+        """Structured machine-state snapshot at detection time
+        (:func:`repro.resilience.watchdog.triage_dump`): runnable and
+        suspended thread sets, in-flight NoC messages, MSA entry
+        occupancy.  Empty only if the dump itself failed."""
+
+
+class WatchdogTimeout(SimulationError):
+    """A watched run exceeded its wall-clock or event budget and was
+    aborted by the :class:`repro.resilience.watchdog.Watchdog`.
+
+    Carries the same structured ``triage`` snapshot a
+    :class:`DeadlockError` does, so a runaway run and a hang produce
+    comparable post-mortem evidence.
+    """
+
+    def __init__(self, message: str, triage: Optional[dict] = None):
+        super().__init__(message)
+        self.triage: dict = triage if triage is not None else {}
 
 
 class ProtocolError(SimulationError):

@@ -14,13 +14,21 @@ substrate they now share:
 * :class:`ResultCache` stores finished results on disk keyed by a hash
   of the spec *plus the fully resolved* :class:`MachineParams`, so
   re-running a figure after an unrelated edit is free while any changed
-  machine knob (including library defaults) misses cleanly.
-* :class:`SweepManifest` records done/failed points in a JSON file that
-  is rewritten after every completion; a killed sweep resumes from the
-  manifest and only runs what is missing.
-* :class:`Engine` orchestrates: cache lookups, a process pool, one
-  retry for crashed or :class:`SimulationError`-ed points, progress/ETA
-  reporting, and :class:`EngineStats` accounting.
+  machine knob (including library defaults) misses cleanly.  Entries
+  carry a sha256 of their own payload: a torn write *or any byte flip*
+  reads back as a cache miss, never a crash and never a wrong result.
+* :class:`SweepManifest` records done/failed points in an append-only
+  JSONL ledger (one fsync-friendly line per completion); a killed sweep
+  resumes from the manifest -- a truncated trailing line from a
+  mid-append kill is repaired in place -- and only runs what is missing.
+* :class:`Engine` orchestrates.  With a cache directory it layers a
+  durable :class:`repro.resilience.store.JobStore` next to the cache
+  and every execution path (serial or a supervised worker pool) claims
+  points through expiring leases: workers heartbeat while simulating,
+  dead workers' points are reclaimed and retried elsewhere with seeded
+  exponential backoff, and a point that keeps failing is quarantined
+  with its traceback instead of starving the sweep.  Without a cache it
+  falls back to the original in-memory pool.
 
 Environment defaults: ``REPRO_WORKERS`` (worker count when ``workers``
 is not given; unset means serial) and ``REPRO_CACHE_DIR`` (cache
@@ -35,6 +43,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -45,7 +54,8 @@ from repro.harness.report import ProgressReporter
 from repro.harness.runner import RunResult
 
 #: Bump to invalidate every existing cache entry (schema changes).
-CACHE_VERSION = 2
+#: v3: checksummed entries ({"payload fields"..., "v", "sha256"}).
+CACHE_VERSION = 3
 
 DEFAULT_MAX_EVENTS = 50_000_000
 
@@ -161,12 +171,16 @@ def _instantiate(factory: Callable, cores: int, scale: float):
     return factory(cores, scale=scale) if takes_scale else factory(cores)
 
 
-def execute_spec(spec: JobSpec) -> RunResult:
+def execute_spec(spec: JobSpec, watchdog=None) -> RunResult:
     """Run one grid point to completion in *this* process.
 
     This is the worker entry point: everything is rebuilt from the spec
     (machine, RNG streams, workload), so no state leaks between points
     and parallel results match serial ones bit for bit.
+
+    ``watchdog`` optionally supervises the run (a
+    :class:`repro.resilience.watchdog.Watchdog`); the drained event
+    order -- and therefore the result -- is identical either way.
     """
     from repro.harness.runner import run_workload
     from repro.machine import Machine
@@ -184,24 +198,46 @@ def execute_spec(spec: JobSpec) -> RunResult:
         check=spec.check,
         config=spec.config,
         checkers=spec.checkers,
+        watchdog=watchdog,
     )
 
 
 # ---------------------------------------------------------------------------
 # Result cache
 # ---------------------------------------------------------------------------
+def entry_checksum(data: Dict[str, Any]) -> str:
+    """sha256 over an entry's canonical payload (everything except the
+    ``sha256`` field itself, compact-serialized with sorted keys).  A
+    byte flip anywhere in the stored payload -- even one that leaves
+    the JSON parseable -- changes this digest."""
+    body = {k: v for k, v in data.items() if k != "sha256"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 class ResultCache:
     """Content-addressed on-disk cache of serialized :class:`RunResult`.
 
     Layout: ``<root>/<key[:2]>/<key>.json`` holding the spec summary
-    (for humans) and the result.  Writes are atomic (temp file +
-    rename) so a killed sweep never leaves a torn entry behind.
+    (for humans), the result, the cache version, and a sha256 of the
+    whole payload.  Writes are atomic (temp file + rename) so a killed
+    sweep never leaves a torn entry behind; reads verify the checksum
+    and the key, so *any* corruption -- truncation, byte flips, a file
+    renamed to the wrong key -- is a cache miss (counted in
+    :attr:`corrupt`), never an exception and never a wrong result.
     """
 
     def __init__(self, root):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        """Entries rejected by checksum/decode validation (each also
+        counts as a miss)."""
+
+        self.put_hook: Optional[Callable[[], None]] = None
+        """Test/chaos seam: called before every write; may raise (e.g.
+        a simulated ``ENOSPC``) to fail the put."""
 
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -210,16 +246,39 @@ class ResultCache:
         path = self.path(key)
         try:
             data = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
             return None
+        except ValueError:
+            self.misses += 1
+            self.corrupt += 1
+            return None
+        try:
+            if (
+                not isinstance(data, dict)
+                or data.get("v") != CACHE_VERSION
+                or data.get("key") != key
+                or entry_checksum(data) != data.get("sha256")
+            ):
+                raise ValueError("corrupt or stale cache entry")
+            result = RunResult.from_dict(data["result"])
+        except Exception:
+            # Corrupt means miss, never crash: byte flips can rename
+            # required keys or retype values, so *anything* the decode
+            # raises lands here.
+            self.misses += 1
+            self.corrupt += 1
+            return None
         self.hits += 1
-        return RunResult.from_dict(data["result"])
+        return result
 
     def put(self, key: str, spec: JobSpec, result: RunResult) -> None:
+        if self.put_hook is not None:
+            self.put_hook()
         path = self.path(key)
         payload = {
             "key": key,
+            "v": CACHE_VERSION,
             "spec": {
                 "config": spec.config,
                 "workload": spec.workload,
@@ -229,34 +288,47 @@ class ResultCache:
             },
             "result": result.to_dict(),
         }
+        payload["sha256"] = entry_checksum(payload)
         _atomic_write_json(path, payload)
 
     def entries(self):
-        """Iterate every readable cache entry as ``(spec_summary,
+        """Iterate every healthy cache entry as ``(spec_summary,
         RunResult)`` pairs, in deterministic (key-sorted) order.
 
         The spec summary is the human-readable dict stored by
         :meth:`put` (config/workload/cores/scale/seed).  This is the
         read path for report-from-cache (``python -m repro report``):
         it never simulates, it only deserializes what finished sweeps
-        left behind.  Torn or foreign files are skipped.
+        left behind.  Torn, corrupt (checksum-mismatched), stale, or
+        foreign files are skipped -- ``python -m repro fsck`` reports
+        and evicts them.
         """
         for path in sorted(self.root.glob("*/*.json")):
             try:
                 data = json.loads(path.read_text())
+                if (
+                    data.get("v") != CACHE_VERSION
+                    or data.get("key") != path.stem
+                    or entry_checksum(data) != data.get("sha256")
+                ):
+                    continue
                 spec = data["spec"]
                 result = RunResult.from_dict(data["result"])
-            except (OSError, ValueError, KeyError, TypeError):
+            except Exception:
                 continue
             yield spec, result
 
 
 def _atomic_write_json(path: Path, payload) -> None:
+    _atomic_write_text(path, json.dumps(payload, sort_keys=True))
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as f:
-            json.dump(payload, f, sort_keys=True)
+            f.write(text)
         os.replace(tmp, str(path))
     except BaseException:
         try:
@@ -269,27 +341,99 @@ def _atomic_write_json(path: Path, payload) -> None:
 # ---------------------------------------------------------------------------
 # Sweep manifest (resume support)
 # ---------------------------------------------------------------------------
+def repair_manifest_tail(path: Path, write: bool = True) -> int:
+    """Drop unparseable lines from a JSONL manifest (the torn trailing
+    line a mid-append kill leaves behind).  Returns how many lines were
+    dropped; with ``write``, the file is rewritten in place (atomic)
+    without them and a warning is emitted.  Missing files are fine."""
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return 0
+    good, dropped = [], 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            if not isinstance(entry, dict) or "key" not in entry:
+                raise ValueError("not a manifest record")
+        except ValueError:
+            dropped += 1
+            continue
+        good.append(line)
+    if dropped and write:
+        warnings.warn(
+            f"sweep manifest {path} had {dropped} torn/unparseable "
+            "line(s) (likely a kill mid-append); repaired in place -- "
+            "the affected points will simply re-run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _atomic_write_text(path, "".join(line + "\n" for line in good))
+    return dropped
+
+
 class SweepManifest:
-    """Done/failed ledger for a sweep, persisted after every completion.
+    """Done/failed ledger for a sweep: one JSON line appended per
+    completion.
+
+    Append-only JSONL keeps the durability write O(1) per point (the
+    old format rewrote the whole document every completion) and makes
+    the failure mode of a kill-mid-write benign: at most the last line
+    is torn, and loading repairs the file in place (with a warning)
+    instead of throwing the whole ledger away.  Later lines for the
+    same key supersede earlier ones, so retries and resumed sweeps
+    just append.
 
     Restarting the same sweep with the same manifest path skips every
     point recorded ``done`` whose cached result is still readable and
     re-runs the rest (pending *and* failed), so a crashed or killed
-    sweep loses at most the in-flight points.
+    sweep loses at most the in-flight points.  Legacy whole-JSON
+    manifests (pre-v3) load transparently and are upgraded on the next
+    :meth:`save`.
     """
 
     def __init__(self, path):
         self.path = Path(path)
         self.entries: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
         try:
-            data = json.loads(self.path.read_text())
-            self.entries = data.get("points", {})
-        except (OSError, ValueError):
-            pass
+            text = self.path.read_text()
+        except OSError:
+            return
+        stripped = text.lstrip()
+        if stripped.startswith("{") and '"points"' in stripped:
+            # Legacy single-document format.
+            try:
+                self.entries = json.loads(text).get("points", {})
+                return
+            except ValueError:
+                pass  # torn legacy file: fall through to line parsing
+        repair_manifest_tail(self.path, write=True)
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry.pop("key")
+            except (ValueError, KeyError, AttributeError, TypeError):
+                continue
+            if isinstance(entry, dict) and "status" in entry:
+                self.entries[key] = entry
 
     def status(self, key: str) -> Optional[str]:
         entry = self.entries.get(key)
         return entry["status"] if entry else None
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.entries.values():
+            out[entry["status"]] = out.get(entry["status"], 0) + 1
+        return out
 
     def record(
         self,
@@ -299,22 +443,25 @@ class SweepManifest:
         attempts: int,
         error: Optional[str] = None,
     ) -> None:
-        self.entries[key] = {
+        entry = {
             "spec": spec.describe(),
             "status": status,
             "attempts": attempts,
             "error": error,
         }
-        self.save()
+        self.entries[key] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as f:
+            f.write(json.dumps({"key": key, **entry}, sort_keys=True) + "\n")
 
     def save(self) -> None:
-        counts: Dict[str, int] = {}
-        for entry in self.entries.values():
-            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
-        _atomic_write_json(
-            self.path, {"version": CACHE_VERSION, "counts": counts,
-                        "points": self.entries}
+        """Compact the ledger: atomically rewrite one line per key (the
+        engine calls this once per run; appends stay O(1))."""
+        body = "".join(
+            json.dumps({"key": key, **entry}, sort_keys=True) + "\n"
+            for key, entry in sorted(self.entries.items())
         )
+        _atomic_write_text(self.path, body)
 
 
 # ---------------------------------------------------------------------------
@@ -370,6 +517,18 @@ class Engine:
     ``retries``: extra attempts for a crashed/errored point (default 1).
     ``progress``: ``True`` for stderr progress lines, or a
     :class:`ProgressReporter`-compatible object.
+
+    With a cache directory, execution runs through the durable
+    :class:`repro.resilience.store.JobStore` living at
+    ``<cache_dir>/jobs.sqlite3``: points are claimed via expiring
+    leases (``lease_s``), failed attempts back off with deterministic
+    seeded jitter (``seed``), a point failing ``retries + 1`` times is
+    quarantined with its traceback, and ``point_timeout_s`` arms a
+    per-point :class:`repro.resilience.watchdog.Watchdog`.  Several
+    engines -- across processes or hosts sharing the cache directory --
+    can run the same grid concurrently and split the work.  ``chaos``
+    (a :class:`repro.resilience.supervise.ChaosPlan`) is the harness
+    chaos seam; leave it ``None`` outside ``repro chaos-harness``.
     """
 
     def __init__(
@@ -379,6 +538,10 @@ class Engine:
         manifest=None,
         retries: int = 1,
         progress=False,
+        lease_s: float = 30.0,
+        point_timeout_s: Optional[float] = None,
+        seed: int = 0,
+        chaos=None,
     ):
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "0") or "0")
@@ -389,7 +552,30 @@ class Engine:
         self.manifest = SweepManifest(manifest) if manifest else None
         self.retries = retries
         self.progress = progress
+        self.lease_s = lease_s
+        self.point_timeout_s = point_timeout_s
+        self.seed = seed
+        self.chaos = chaos
         self.stats = EngineStats()
+        self.pool_stats: Dict[str, int] = {}
+        self.store = None
+        if self.cache is not None:
+            try:
+                from repro.resilience.store import (
+                    JobStore,
+                    default_store_path,
+                )
+
+                self.store = JobStore(
+                    default_store_path(self.cache.root),
+                    lease_s=lease_s,
+                    quarantine_after=retries + 1,
+                )
+            except Exception:
+                # A read-only cache mount (or a hostile sqlite build)
+                # must not take caching down with it; the legacy
+                # in-memory paths still work.
+                self.store = None
 
     # -- public API ----------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
@@ -415,11 +601,30 @@ class Engine:
                 pending.append((index, spec, key))
 
         if pending:
-            if self.workers > 1 and len(pending) > 1:
+            if self.store is not None:
+                self._run_supervised(pending, results, reporter)
+            elif self.workers > 1 and len(pending) > 1:
                 self._run_parallel(pending, results, reporter)
             else:
                 self._run_serial(pending, results, reporter)
+        if self.manifest is not None and pending:
+            self.manifest.save()  # compact the append-only ledger
         return [job for job in results if job is not None]
+
+    def resilience_counters(self) -> Dict[str, int]:
+        """Durability/supervision counters for :mod:`repro.obs` export:
+        job-store lifetime transitions plus cache hit/miss/corrupt
+        totals (empty when the engine runs without a cache)."""
+        out: Dict[str, int] = {}
+        if self.store is not None:
+            out.update(self.store.counters())
+        if self.cache is not None:
+            out["cache_hits"] = self.cache.hits
+            out["cache_misses"] = self.cache.misses
+            out["cache_corrupt"] = self.cache.corrupt
+        for name, value in self.pool_stats.items():
+            out[f"pool_{name}"] = value
+        return out
 
     # -- cache/manifest plumbing ---------------------------------------
     def _from_cache(self, spec: JobSpec, key: str) -> Optional[JobResult]:
@@ -484,6 +689,128 @@ class Engine:
                 if attempt <= self.retries:
                     self.stats.retried += 1
         return None, self.retries + 1, error
+
+    # -- supervised (durable-store) backend ----------------------------
+    def _run_supervised(self, pending, results, reporter) -> None:
+        """Execute through the job store: enqueue every point, claim by
+        lease (in-process, or via a supervised worker pool), then
+        collect outcomes from store + cache.  Crash-safe at every step:
+        a worker dying mid-point just stops heartbeating and the point
+        is reclaimed; a torn cache entry re-runs in the parent."""
+        from repro.resilience.supervise import WorkerLoop, WorkerPool
+
+        store = self.store
+        specs_by_key: Dict[str, JobSpec] = {}
+        keys: List[str] = []
+        picklable: Dict[str, bool] = {}
+        for _index, spec, key in pending:
+            specs_by_key[key] = spec
+            keys.append(key)
+            try:
+                blob = pickle.dumps(spec)
+            except Exception:
+                blob = None
+            picklable[key] = blob is not None
+            store.enqueue(key, spec.describe(), blob)
+        before = store.counters()
+        recorded = set()
+
+        def on_terminal(key, row):
+            if row is None or not row.terminal or key in recorded:
+                return
+            recorded.add(key)
+            spec = specs_by_key[key]
+            if self.manifest is not None:
+                self.manifest.record(
+                    key,
+                    spec,
+                    "done" if row.status == "done" else "failed",
+                    row.attempts,
+                    row.error,
+                )
+            if reporter is not None:
+                reporter.update(
+                    spec.describe(), failed=row.status != "done"
+                )
+
+        def in_process_loop(loop_keys):
+            return WorkerLoop(
+                store,
+                self.cache,
+                keys=loop_keys,
+                specs_by_key=specs_by_key,
+                seed=self.seed,
+                point_timeout_s=self.point_timeout_s,
+                on_complete=on_terminal,
+            )
+
+        remote = [k for k in keys if picklable[k]]
+        local = [k for k in keys if not picklable[k]]
+        if self.workers > 1 and len(remote) > 1:
+            if local:
+                in_process_loop(local).drain()
+            pool = WorkerPool(
+                store,
+                self.cache.root,
+                workers=self.workers,
+                lease_s=self.lease_s,
+                quarantine_after=self.retries + 1,
+                seed=self.seed,
+                point_timeout_s=self.point_timeout_s,
+                chaos=self.chaos,
+                on_terminal=on_terminal,
+            )
+            pool.run(remote)
+            self.pool_stats = {
+                "kills": pool.kills,
+                "restarts": pool.restarts,
+                "corruptions": pool.corruptions,
+            }
+            if store.open_jobs(keys):
+                # Restart budget exhausted with work left: the parent
+                # finishes the remainder itself.  Points are never lost.
+                in_process_loop(keys).drain()
+        else:
+            in_process_loop(keys).drain()
+
+        after = store.counters()
+        self.stats.retried += (
+            (after["retries"] - before["retries"])
+            + (after["leases_expired"] - before["leases_expired"])
+            + (after["leases_released"] - before["leases_released"])
+        )
+        self._collect_supervised(pending, results, on_terminal)
+
+    def _collect_supervised(self, pending, results, on_terminal) -> None:
+        """Turn store rows + cache entries into ordered JobResults.  A
+        row marked done whose cache entry is unreadable (corruption
+        after completion) deterministically re-runs here, in-parent."""
+        store = self.store
+        for index, spec, key in pending:
+            row = store.get(key)
+            attempts = row.attempts if row is not None else 0
+            error = row.error if row is not None else None
+            result = self.cache.get(key)
+            if result is None and (row is None or row.status == "done"):
+                try:
+                    result = execute_spec(spec)
+                    self.cache.put(key, spec, result)
+                    store.mark_done(key)
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+            if result is not None:
+                self.stats.executed += 1
+                error = None
+            else:
+                self.stats.failed += 1
+            on_terminal(key, store.get(key))
+            results[index] = JobResult(
+                spec=spec,
+                key=key,
+                result=result,
+                attempts=attempts,
+                error=error,
+            )
 
     def _run_parallel(self, pending, results, reporter) -> None:
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait

@@ -117,11 +117,20 @@ def run_workload(
     config: str = "",
     checkers=(),
     raise_violations: bool = True,
+    watchdog=None,
 ) -> RunResult:
     """Run ``workload`` on ``machine`` to completion.
 
     With ``check`` (default), the workload's validation hook and the
     machine's protocol invariants are verified after the run.
+
+    ``watchdog`` (a :class:`repro.resilience.watchdog.Watchdog`) hands
+    the event-loop drain to an escalating budget enforcer -- warn,
+    snapshot, then abort with a triage dump on wall-clock or event
+    overrun.  The watchdog owns budget enforcement when present (give
+    it ``max_events``; the plain ``max_events`` argument is ignored),
+    and drains events in the exact order an unwatched run would, so
+    results are bit-identical.
 
     ``checkers`` attaches a :mod:`repro.verify` suite before spawning
     threads: ``True`` for every monitor, or a sequence of monitor names
@@ -148,7 +157,10 @@ def run_workload(
             workload.controller(env), name=f"{workload.name}.controller"
         )
     try:
-        cycles = machine.run(max_events=max_events)
+        if watchdog is not None:
+            cycles = watchdog.run(machine)
+        else:
+            cycles = machine.run(max_events=max_events)
     except Exception as exc:
         if suite is not None:
             exc.check_report = suite.finalize(raise_on_violation=False)

@@ -263,6 +263,7 @@ def render_sweep_report(
     baseline: Optional[str] = None,
     title: str = "repro sweep report",
     bench_doc: Optional[Dict] = None,
+    resilience: Optional[Dict[str, int]] = None,
 ) -> str:
     """Render a list of :class:`~repro.harness.sweep.SweepPoint` (e.g.
     loaded from the result cache) as a self-contained HTML page.
@@ -270,7 +271,9 @@ def render_sweep_report(
     With ``baseline`` (a config name present in the points), each cell
     also shows the speedup over the same (workload, cores) baseline
     run.  ``bench_doc`` optionally appends a simulator-performance
-    section from a ``repro.perf`` benchmark document.
+    section from a ``repro.perf`` benchmark document; ``resilience``
+    (the job store's lifetime counters -- leases, retries, quarantines)
+    appends the harness-resilience section.
     """
     points = list(points)
     configs = sorted({p.config for p in points})
@@ -380,6 +383,27 @@ def render_sweep_report(
             agg_rows,
         )
     )
+
+    if resilience:
+        body.append("<h2>Harness resilience (job store)</h2>")
+        highlight = {"quarantined", "stale_completions", "leases_expired"}
+        rows = [
+            [name, (f"{value:,}", "bad") if name in highlight and value else f"{value:,}"]
+            for name, value in sorted(resilience.items())
+            if value
+        ]
+        if rows:
+            body.append(_table(("counter", "value"), rows))
+        else:
+            body.append(
+                "<p class='note'>Store present, all counters zero.</p>"
+            )
+        body.append(
+            "<p class='note'>Lifetime counters of the durable job store "
+            "next to this cache: lease grants/expiries track worker "
+            "supervision, retries/quarantines track failing points "
+            "(see docs/HARNESS.md).</p>"
+        )
 
     if bench_doc is not None:
         body.append("<h2>Simulator performance (repro.perf)</h2>")

@@ -40,6 +40,26 @@ def load_cache_points(cache_dir) -> List[SweepPoint]:
     return points
 
 
+def load_store_counters(cache_dir) -> Optional[dict]:
+    """Lifetime resilience counters of the job store living next to a
+    result cache (``<cache_dir>/jobs.sqlite3``): leases granted and
+    reclaimed, retries, quarantines, stale completions.  ``None`` when
+    the cache has no store (a pre-resilience or serial-only sweep)."""
+    from repro.resilience import JobStore, default_store_path
+
+    path = default_store_path(cache_dir)
+    if not path.is_file():
+        return None
+    try:
+        store = JobStore(path)
+        try:
+            return store.counters()
+        finally:
+            store.close()
+    except Exception:
+        return None
+
+
 def report_from_cache(
     cache_dir,
     out,
@@ -73,6 +93,7 @@ def report_from_cache(
         baseline=baseline,
         title=title or f"repro sweep report ({len(points)} cached points)",
         bench_doc=bench_doc,
+        resilience=load_store_counters(cache_dir),
     )
     out = Path(out)
     out.parent.mkdir(parents=True, exist_ok=True)

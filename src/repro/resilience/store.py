@@ -1,0 +1,512 @@
+"""Durable SQLite-backed job store: experiments as rows, claimed by lease.
+
+The parallel engine (:mod:`repro.harness.jobs`) used to hand grid points
+straight to a process pool and hope every worker came back.  This module
+is the crash-safe replacement for that hope: each :class:`JobSpec
+<repro.harness.jobs.JobSpec>` becomes one row in a small SQLite database
+living next to the result cache, and workers *claim* rows through
+expiring leases:
+
+* **claim** -- an atomic ``BEGIN IMMEDIATE`` transaction moves one
+  eligible row to ``leased`` with this worker's owner id and a lease
+  deadline.  Any number of workers -- in one process pool, or on
+  different hosts sharing a cache directory -- can pull safely.
+* **heartbeat** -- a live worker extends its lease while it simulates;
+  a worker that is SIGKILLed simply stops heartbeating and its lease
+  expires, making the row claimable again (counted as a reclaim).
+* **failure** -- a failed attempt returns the row to ``pending`` with a
+  ``not_before`` backoff deadline; after ``quarantine_after`` attempts
+  the row is quarantined with a captured traceback artifact so one
+  poison point cannot starve the sweep.
+
+Statuses: ``pending`` -> ``leased`` -> ``done`` | ``quarantined``
+(quarantined rows are reset to ``pending`` when a new engine run
+explicitly re-enqueues them).  All transitions bump the store's
+lifetime counters (:meth:`JobStore.counters`), which the harness
+exports through :class:`repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+#: Bump on incompatible jobs-table changes; a drifted store is rebuilt
+#: (jobs are re-runnable by construction -- results live in the cache).
+STORE_SCHEMA_VERSION = 1
+
+#: Terminal row statuses (nothing left to execute for this row).
+TERMINAL = ("done", "quarantined")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    key           TEXT PRIMARY KEY,
+    describe      TEXT NOT NULL DEFAULT '',
+    spec_blob     BLOB,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    lease_owner   TEXT,
+    lease_expires REAL,
+    not_before    REAL NOT NULL DEFAULT 0,
+    host          TEXT,
+    pid           INTEGER,
+    error         TEXT,
+    created       REAL NOT NULL,
+    updated       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status);
+CREATE TABLE IF NOT EXISTS counters (
+    name  TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+#: Counter names the store maintains (all start at zero).
+COUNTER_NAMES = (
+    "enqueued",
+    "leases_granted",
+    "leases_expired",
+    "leases_released",
+    "heartbeats",
+    "retries",
+    "done",
+    "quarantined",
+    "requeued",
+    "stale_completions",
+)
+
+
+@dataclass
+class JobRow:
+    """One job row, as plain data (see the ``jobs`` table schema)."""
+
+    key: str
+    describe: str
+    status: str
+    attempts: int
+    lease_owner: Optional[str]
+    lease_expires: Optional[float]
+    not_before: float
+    host: Optional[str]
+    pid: Optional[int]
+    error: Optional[str]
+    created: float
+    updated: float
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+
+@dataclass
+class Claim:
+    """A successfully leased job: execute it, then :meth:`JobStore.mark_done`
+    or :meth:`JobStore.mark_failed` *with the same owner id*."""
+
+    key: str
+    describe: str
+    spec_blob: Optional[bytes]
+    attempt: int
+    owner: str
+    reclaimed: bool = False
+    """True when this claim took over an expired lease (a previous
+    worker died or hung mid-point)."""
+
+
+class JobStore:
+    """Durable job ledger over one SQLite file.
+
+    ``lease_s`` is the lease duration granted per claim (heartbeats
+    extend it); ``quarantine_after`` is the attempt count at which a
+    failing job is quarantined instead of re-pended.  ``clock`` is
+    injectable for tests (defaults to wall time -- leases are real-time
+    contracts between processes, not simulated time).
+    """
+
+    def __init__(
+        self,
+        path,
+        lease_s: float = 30.0,
+        quarantine_after: int = 3,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.path = Path(path)
+        self.lease_s = float(lease_s)
+        self.quarantine_after = int(quarantine_after)
+        self.clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._db = self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
+        db = sqlite3.connect(str(self.path), timeout=30.0)
+        db.isolation_level = None  # explicit BEGIN/COMMIT
+        db.execute("PRAGMA busy_timeout=30000")
+        try:
+            db.executescript(_SCHEMA)
+            row = db.execute(
+                "SELECT value FROM meta WHERE key='schema'"
+            ).fetchone()
+            if row is None:
+                db.execute(
+                    "INSERT OR IGNORE INTO meta VALUES ('schema', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+            elif row[0] != str(STORE_SCHEMA_VERSION):
+                raise sqlite3.DatabaseError(
+                    f"job store schema {row[0]} != {STORE_SCHEMA_VERSION}"
+                )
+        except sqlite3.DatabaseError:
+            # Torn or drifted store: rebuild.  Jobs are re-runnable by
+            # construction (results live in the cache), so a corrupt
+            # ledger is evicted, never fatal.
+            db.close()
+            self.path.unlink(missing_ok=True)
+            db = sqlite3.connect(str(self.path), timeout=30.0)
+            db.isolation_level = None
+            db.execute("PRAGMA busy_timeout=30000")
+            db.executescript(_SCHEMA)
+            db.execute(
+                "INSERT OR IGNORE INTO meta VALUES ('schema', ?)",
+                (str(STORE_SCHEMA_VERSION),),
+            )
+        return db
+
+    def close(self) -> None:
+        self._db.close()
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+    def enqueue(
+        self,
+        key: str,
+        describe: str = "",
+        spec_blob: Optional[bytes] = None,
+        requeue_failed: bool = True,
+    ) -> str:
+        """Insert a job row if absent; returns the row's status after.
+
+        ``requeue_failed`` resets an existing ``quarantined`` row back to
+        ``pending`` (an engine run that *asks* for a quarantined point is
+        an explicit request to try it again).  ``done`` and in-flight
+        rows are left untouched.
+        """
+        now = self.clock()
+        db = self._db
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            row = db.execute(
+                "SELECT status FROM jobs WHERE key=?", (key,)
+            ).fetchone()
+            if row is None:
+                db.execute(
+                    "INSERT INTO jobs (key, describe, spec_blob, status,"
+                    " created, updated) VALUES (?,?,?, 'pending', ?, ?)",
+                    (key, describe, spec_blob, now, now),
+                )
+                self._bump("enqueued")
+                status = "pending"
+            else:
+                status = row[0]
+                if status == "quarantined" and requeue_failed:
+                    # A fresh retry budget comes with the explicit
+                    # re-enqueue; lifetime attempt history stays in the
+                    # counters.
+                    db.execute(
+                        "UPDATE jobs SET status='pending', not_before=0,"
+                        " attempts=0, error=NULL,"
+                        " spec_blob=COALESCE(?, spec_blob),"
+                        " updated=? WHERE key=?",
+                        (spec_blob, now, key),
+                    )
+                    self._bump("requeued")
+                    status = "pending"
+                elif spec_blob is not None:
+                    db.execute(
+                        "UPDATE jobs SET spec_blob=?, updated=? WHERE key=?",
+                        (spec_blob, now, key),
+                    )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+        return status
+
+    # ------------------------------------------------------------------
+    # Claiming
+    # ------------------------------------------------------------------
+    def claim(
+        self,
+        owner: str,
+        keys: Optional[Iterable[str]] = None,
+    ) -> Optional[Claim]:
+        """Lease one eligible job: ``pending`` past its backoff deadline,
+        or ``leased`` with an expired lease (the previous worker died).
+        Returns ``None`` when nothing is claimable right now."""
+        now = self.clock()
+        keyset = None if keys is None else set(keys)
+        db = self._db
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            rows = db.execute(
+                "SELECT key, describe, spec_blob, attempts, status"
+                " FROM jobs WHERE (status='pending' AND not_before<=?)"
+                " OR (status='leased' AND lease_expires<=?)"
+                " ORDER BY created, key",
+                (now, now),
+            ).fetchall()
+            for key, describe, blob, attempts, status in rows:
+                if keyset is not None and key not in keyset:
+                    continue
+                reclaimed = status == "leased"
+                db.execute(
+                    "UPDATE jobs SET status='leased', lease_owner=?,"
+                    " lease_expires=?, attempts=?, host=?, pid=?, updated=?"
+                    " WHERE key=?",
+                    (
+                        owner,
+                        now + self.lease_s,
+                        attempts + 1,
+                        socket.gethostname(),
+                        os.getpid(),
+                        now,
+                        key,
+                    ),
+                )
+                self._bump("leases_granted")
+                if reclaimed:
+                    self._bump("leases_expired")
+                db.execute("COMMIT")
+                return Claim(
+                    key=key,
+                    describe=describe,
+                    spec_blob=blob,
+                    attempt=attempts + 1,
+                    owner=owner,
+                    reclaimed=reclaimed,
+                )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+        return None
+
+    def claim_key(self, key: str, owner: str) -> Optional[Claim]:
+        """Lease one specific job (serial execution path)."""
+        return self.claim(owner, keys=(key,))
+
+    def heartbeat(self, key: str, owner: str) -> bool:
+        """Extend the lease on a job this owner holds; returns False if
+        the lease was lost (expired and reclaimed by someone else)."""
+        now = self.clock()
+        cur = self._db.execute(
+            "UPDATE jobs SET lease_expires=?, updated=? WHERE key=?"
+            " AND status='leased' AND lease_owner=?",
+            (now + self.lease_s, now, key, owner),
+        )
+        if cur.rowcount:
+            self._bump("heartbeats", commit=True)
+        return bool(cur.rowcount)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def mark_done(self, key: str, owner: Optional[str] = None) -> bool:
+        """Record success.  With ``owner``, the transition is rejected
+        (returns False) if this owner no longer holds the lease -- a
+        hung worker whose job was reclaimed and finished elsewhere must
+        not overwrite the fresher outcome."""
+        now = self.clock()
+        if owner is None:
+            cur = self._db.execute(
+                "UPDATE jobs SET status='done', error=NULL, lease_owner=NULL,"
+                " lease_expires=NULL, updated=? WHERE key=?",
+                (now, key),
+            )
+        else:
+            cur = self._db.execute(
+                "UPDATE jobs SET status='done', error=NULL, lease_owner=NULL,"
+                " lease_expires=NULL, updated=? WHERE key=?"
+                " AND status='leased' AND lease_owner=?",
+                (now, key, owner),
+            )
+        if cur.rowcount:
+            self._bump("done", commit=True)
+        elif owner is not None:
+            self._bump("stale_completions", commit=True)
+        return bool(cur.rowcount)
+
+    def mark_failed(
+        self,
+        key: str,
+        owner: Optional[str],
+        error: str,
+        traceback_text: Optional[str] = None,
+        backoff_s: float = 0.0,
+    ) -> str:
+        """Record one failed attempt.
+
+        Returns the row's new status: ``pending`` (will be retried after
+        ``backoff_s``) or ``quarantined`` (attempts reached
+        ``quarantine_after``; the traceback artifact is written next to
+        the store under ``quarantine/<key>.txt``).  Stale owners are
+        rejected with status ``stale``.
+        """
+        now = self.clock()
+        db = self._db
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            row = db.execute(
+                "SELECT attempts, status, lease_owner FROM jobs WHERE key=?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                db.execute("COMMIT")
+                return "missing"
+            attempts, status, lease_owner = row
+            if owner is not None and (
+                status != "leased" or lease_owner != owner
+            ):
+                self._bump("stale_completions")
+                db.execute("COMMIT")
+                return "stale"
+            if attempts >= self.quarantine_after:
+                db.execute(
+                    "UPDATE jobs SET status='quarantined', error=?,"
+                    " lease_owner=NULL, lease_expires=NULL, updated=?"
+                    " WHERE key=?",
+                    (error, now, key),
+                )
+                self._bump("quarantined")
+                new_status = "quarantined"
+            else:
+                db.execute(
+                    "UPDATE jobs SET status='pending', error=?,"
+                    " lease_owner=NULL, lease_expires=NULL, not_before=?,"
+                    " updated=? WHERE key=?",
+                    (error, now + max(0.0, backoff_s), now, key),
+                )
+                self._bump("retries")
+                new_status = "pending"
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+        if new_status == "quarantined" and traceback_text is not None:
+            self._write_quarantine_artifact(key, error, traceback_text)
+        return new_status
+
+    def _write_quarantine_artifact(
+        self, key: str, error: str, traceback_text: str
+    ) -> None:
+        path = self.quarantine_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            f"key: {key}\nerror: {error}\n\n{traceback_text}"
+        )
+        os.replace(tmp, path)
+
+    def quarantine_path(self, key: str) -> Path:
+        """Where the captured traceback of a quarantined job lives."""
+        return self.path.parent / "quarantine" / f"{key}.txt"
+
+    # ------------------------------------------------------------------
+    # Supervision helpers
+    # ------------------------------------------------------------------
+    def release_owner(self, owner: str) -> int:
+        """Expire every lease held by ``owner`` *now* (the supervisor
+        observed its worker die; no need to wait out the lease)."""
+        now = self.clock()
+        cur = self._db.execute(
+            "UPDATE jobs SET status='pending', lease_owner=NULL,"
+            " lease_expires=NULL, updated=? WHERE status='leased'"
+            " AND lease_owner=?",
+            (now, owner),
+        )
+        if cur.rowcount:
+            self._bump("leases_released", commit=True, n=cur.rowcount)
+        return cur.rowcount
+
+    def reclaim_expired(self) -> int:
+        """Return expired leases to ``pending`` (normally claims do this
+        lazily; fsck and supervisors may sweep eagerly)."""
+        now = self.clock()
+        cur = self._db.execute(
+            "UPDATE jobs SET status='pending', lease_owner=NULL,"
+            " lease_expires=NULL, updated=? WHERE status='leased'"
+            " AND lease_expires<=?",
+            (now, now),
+        )
+        if cur.rowcount:
+            self._bump("leases_expired", commit=True, n=cur.rowcount)
+        return cur.rowcount
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[JobRow]:
+        row = self._db.execute(
+            "SELECT key, describe, status, attempts, lease_owner,"
+            " lease_expires, not_before, host, pid, error, created, updated"
+            " FROM jobs WHERE key=?",
+            (key,),
+        ).fetchone()
+        return JobRow(*row) if row else None
+
+    def rows(self, keys: Optional[Sequence[str]] = None) -> List[JobRow]:
+        out = [
+            JobRow(*row)
+            for row in self._db.execute(
+                "SELECT key, describe, status, attempts, lease_owner,"
+                " lease_expires, not_before, host, pid, error, created,"
+                " updated FROM jobs ORDER BY created, key"
+            )
+        ]
+        if keys is not None:
+            keyset = set(keys)
+            out = [r for r in out if r.key in keyset]
+        return out
+
+    def statuses(self, keys: Optional[Sequence[str]] = None) -> Dict[str, str]:
+        return {row.key: row.status for row in self.rows(keys)}
+
+    def open_jobs(self, keys: Optional[Sequence[str]] = None) -> int:
+        """Jobs not yet terminal (pending or leased) among ``keys``."""
+        return sum(1 for r in self.rows(keys) if not r.terminal)
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime transition counters plus current per-status totals."""
+        out = {name: 0 for name in COUNTER_NAMES}
+        for name, value in self._db.execute("SELECT name, value FROM counters"):
+            out[name] = value
+        for status, count in self._db.execute(
+            "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+        ):
+            out[f"jobs_{status}"] = count
+        return out
+
+    # ------------------------------------------------------------------
+    def _bump(self, name: str, commit: bool = False, n: int = 1) -> None:
+        self._db.execute(
+            "INSERT INTO counters (name, value) VALUES (?, ?)"
+            " ON CONFLICT(name) DO UPDATE SET value=value+?",
+            (name, n, n),
+        )
+        # Inside an explicit BEGIN IMMEDIATE the caller commits; bare
+        # calls run in autocommit, nothing to do.
+        _ = commit
+
+
+def default_store_path(cache_dir) -> Path:
+    """Where the job store lives for a given result-cache directory."""
+    return Path(cache_dir) / "jobs.sqlite3"

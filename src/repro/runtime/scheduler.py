@@ -143,9 +143,10 @@ class Scheduler:
     def check_for_deadlock(self) -> None:
         """Called when the event queue drains: any unfinished thread is
         deadlocked (blocked on a future nothing will complete).  The
-        error message describes *what* each thread is blocked on, which
-        is usually enough to tell a lost wakeup from a suspension that
-        was never resumed."""
+        error message describes *what* each thread is blocked on, and
+        the raised :class:`DeadlockError` carries the watchdog's full
+        triage dump (runnable/suspended thread sets, in-flight NoC
+        messages, MSA entry occupancy) for post-mortem analysis."""
         stuck = [t for t in self.threads if not t.finished]
         if not stuck:
             return
@@ -162,7 +163,17 @@ class Scheduler:
             else:
                 state = "blocked on an incomplete future (lost wakeup)"
             details.append(f"{thread.name}@core{thread.core}: {state}")
+        from repro.resilience.watchdog import format_triage, triage_dump
+
+        try:
+            triage = triage_dump(self.machine)
+            summary = f" [triage: {format_triage(triage)}]"
+        except Exception:  # diagnostics must never mask the deadlock
+            triage, summary = {}, ""
         raise DeadlockError(
-            f"{len(stuck)} thread(s) never finished: " + "; ".join(details),
+            f"{len(stuck)} thread(s) never finished: "
+            + "; ".join(details)
+            + summary,
             blocked=stuck,
+            triage=triage,
         )

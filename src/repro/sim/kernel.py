@@ -286,6 +286,31 @@ class Simulator:
             self._events_processed += count
         return self.now
 
+    def run_chunk(self, max_events: int) -> int:
+        """Drain up to ``max_events`` events and return how many ran.
+
+        Unlike :meth:`run`, exhausting the budget is *not* an error --
+        the caller (the :class:`repro.resilience.watchdog.Watchdog`)
+        owns the policy.  Events pop in exactly the order :meth:`run`
+        would pop them, so chunked and monolithic drains of the same
+        heap are bit-identical.
+        """
+        heap = self._heap
+        no_arg = _NO_ARG
+        count = 0
+        try:
+            while heap and count < max_events:
+                when, _seq, callback, arg = heappop(heap)
+                self.now = when
+                count += 1
+                if arg is no_arg:
+                    callback()
+                else:
+                    callback(arg)
+        finally:
+            self._events_processed += count
+        return count
+
     @property
     def events_processed(self) -> int:
         return self._events_processed

@@ -202,10 +202,16 @@ class TestManifestResume:
         Engine(workers=1, cache_dir=tmp_path / "c", manifest=manifest).run(
             [spec(), spec(workload="broken", factory=_always_fail)]
         )
-        data = json.loads(manifest.read_text())
-        statuses = sorted(e["status"] for e in data["points"].values())
+        # Append-only JSONL: one self-contained record per line.
+        entries = [
+            json.loads(line)
+            for line in manifest.read_text().splitlines()
+            if line.strip()
+        ]
+        by_key = {e["key"]: e for e in entries}
+        statuses = sorted(e["status"] for e in by_key.values())
         assert statuses == ["done", "failed"]
-        assert data["counts"] == {"done": 1, "failed": 1}
+        assert SweepManifest(manifest).counts() == {"done": 1, "failed": 1}
 
     def test_resume_after_kill_runs_only_missing_points(self, tmp_path):
         manifest = tmp_path / "manifest.json"
@@ -224,8 +230,7 @@ class TestManifestResume:
         assert resumed.stats.executed == 2
         assert all(j.ok for j in jobs)
         statuses = [
-            e["status"]
-            for e in json.loads(manifest.read_text())["points"].values()
+            e["status"] for e in SweepManifest(manifest).entries.values()
         ]
         assert statuses == ["done"] * 4
 
