@@ -18,19 +18,20 @@ to serve repeated grid points from the on-disk result cache (the
 second benchmark run of an unchanged tree is then nearly free).
 """
 
-import os
-
 import pytest
 
-FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+from repro.common import config
+
+FULL = config.bench_full()
 
 #: (core counts, workload scale) for the default and full grids.
 CORES = (16, 64) if FULL else (16,)
 SCALE = 1.0 if FULL else 0.4
 
-#: Engine fan-out/caching for the figure drivers.
-WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or "0") or None
-CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+#: Engine fan-out/caching for the figure drivers (resolved through the
+#: :mod:`repro.common.config` knob table).
+WORKERS = config.bench_workers()
+CACHE_DIR = config.bench_cache()
 
 
 @pytest.fixture(scope="session")

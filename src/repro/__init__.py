@@ -47,6 +47,10 @@ __all__ = [
     "report",
     "fsck",
     "chaos_harness",
+    "submit",
+    "status",
+    "wait",
+    "fetch",
     "RunResult",
     "__version__",
 ]
@@ -55,9 +59,12 @@ __version__ = "1.3.0"
 
 #: Facade names resolved lazily so ``import repro`` stays light (the
 #: harness pulls in the whole machine model) and free of import cycles.
+# ("serve" is deliberately absent: ``repro.serve`` is the service
+# subpackage; the blocking verb lives at ``repro.api.serve``.)
 _API_NAMES = (
     "build", "run", "sweep", "bench", "observe", "report",
-    "fsck", "chaos_harness", "RunResult", "Engine", "JobSpec",
+    "fsck", "chaos_harness", "submit", "status", "wait",
+    "fetch", "RunResult", "Engine", "JobSpec",
 )
 
 

@@ -14,7 +14,17 @@ the parallel engine::
         --trace trace.json --metrics metrics.prom --html run.html
     python -m repro report --cache-dir ~/.cache/repro \\
         --baseline pthread --out report.html
+    python -m repro serve --cache-dir ~/.cache/repro --workers 4
+    python -m repro submit --configs pthread msa-omu-2 \\
+        --workloads canneal --server http://127.0.0.1:8765
+    python -m repro status <sweep-id> --server http://127.0.0.1:8765
+    python -m repro fetch <sweep-id> --csv out.csv
     python -m repro all --workers 8 --cache-dir ~/.cache/repro
+
+The ``serve``/``submit``/``status``/``fetch`` quartet runs sweeps as a
+service: one long-lived server owns the cache and the worker fleet, any
+number of clients submit grids and fetch byte-identical results over
+HTTP (``--server`` or ``REPRO_SERVER``).  See docs/SERVICE.md.
 
 ``--check`` (on run/sweep/chaos) attaches every :mod:`repro.verify`
 invariant monitor to each simulation; ``verify`` is the checker-first
@@ -38,7 +48,8 @@ from repro.harness import experiments
 FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
 COMMANDS = ("table1",) + FIGURES + (
     "headline", "chaos", "run", "verify", "sweep", "perf", "obs",
-    "report", "fsck", "chaos-harness", "all",
+    "report", "fsck", "chaos-harness", "serve", "submit", "status",
+    "fetch", "all",
 )
 
 
@@ -326,6 +337,84 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from repro.serve import Server
+
+    server = Server(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        retries=args.retries,
+        lease_s=args.lease,
+        point_timeout_s=args.point_timeout,
+        seed=args.seed,
+    )
+    server.serve_forever(
+        on_ready=lambda s: print(
+            f"repro serve: listening on {s.url} "
+            f"(cache: {s.cache_dir}, workers: {s.workers})",
+            flush=True,
+        )
+    )
+    served = {k: v for k, v in server.counters.items() if v}
+    print(f"repro serve: stopped ({served or 'no requests'})")
+    return 0
+
+
+def _run_submit(args) -> int:
+    from repro.client import Client
+
+    client = Client(args.server)
+    sid = client.submit(
+        configs=args.configs,
+        workloads=args.workloads,
+        cores=args.cores,
+        scale=args.scale,
+        seed=args.seed,
+        check=not args.no_check,
+    )
+    sub = client.submissions[sid]
+    print(sid)
+    print(
+        f"submitted to {client.base}: {sub['created_jobs']} new, "
+        f"{sub['deduped_jobs']} already known",
+        file=sys.stderr,
+    )
+    if args.wait:
+        client.wait(sid)
+        print(f"sweep {sid} done", file=sys.stderr)
+    return 0
+
+
+def _run_status(args) -> int:
+    import json as _json
+
+    from repro.client import Client
+
+    doc = Client(args.server).status(args.sweep_id)
+    print(_json.dumps(doc, indent=2, sort_keys=True))
+    return 0 if doc["ok"] or not doc["done"] else 1
+
+
+def _run_fetch(args) -> int:
+    from repro.client import Client
+    from repro.harness.sweep import add_speedups, to_csv
+
+    client = Client(args.server)
+    if args.wait:
+        client.wait(args.sweep_id)
+    points = client.fetch(args.sweep_id)
+    if args.baseline:
+        add_speedups(points, baseline_config=args.baseline)
+    text = to_csv(points, path=args.csv)
+    if args.csv:
+        print(f"wrote {args.csv} ({len(points)} points)")
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -603,6 +692,96 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach every invariant monitor to each point",
     )
+
+    def add_server(p):
+        p.add_argument(
+            "--server",
+            default=None,
+            help="service URL (default: REPRO_SERVER)",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the experiment service: HTTP sweep submission over "
+        "the shared cache and worker fleet (see docs/SERVICE.md)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="the service's durable state: result cache + job store "
+        "(default: REPRO_CACHE_DIR; required)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_WORKERS or in-process)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="per-point retry budget before quarantine",
+    )
+    p.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="per-claim lease duration; a killed server's in-flight "
+        "points are reclaimable after this long",
+    )
+    p.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point wall-clock watchdog (seconds)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="worker PRNG seed")
+
+    p = sub.add_parser(
+        "submit", help="submit a sweep grid to a running service"
+    )
+    add_server(p)
+    p.add_argument("--configs", nargs="+", required=True)
+    p.add_argument("--workloads", nargs="+", required=True)
+    p.add_argument("--cores", type=int, nargs="+", default=[16])
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--no-check", action="store_true", help="skip workload self-checks"
+    )
+    p.add_argument(
+        "--wait", action="store_true", help="block until the sweep is done"
+    )
+
+    p = sub.add_parser(
+        "status",
+        help="print a submitted sweep's status document (JSON); exit 1 "
+        "if it finished with failures",
+    )
+    add_server(p)
+    p.add_argument("sweep_id")
+
+    p = sub.add_parser(
+        "fetch",
+        help="fetch a finished sweep's results as CSV (byte-identical "
+        "to a local run of the same grid)",
+    )
+    add_server(p)
+    p.add_argument("sweep_id")
+    p.add_argument(
+        "--wait", action="store_true", help="long-poll until done first"
+    )
+    p.add_argument(
+        "--baseline", default=None, help="annotate speedups over this config"
+    )
+    p.add_argument("--csv", default=None, help="write results to this CSV path")
     return parser
 
 
@@ -624,6 +803,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fsck(args)
     if args.command == "chaos-harness":
         return _run_chaos_harness(args)
+    if args.command in ("serve", "submit", "status", "fetch"):
+        from repro.common.errors import ReproError
+
+        handler = {
+            "serve": _run_serve,
+            "submit": _run_submit,
+            "status": _run_status,
+            "fetch": _run_fetch,
+        }[args.command]
+        try:
+            return handler(args)
+        except ReproError as exc:
+            # Config/service errors are user-facing (bad flag, dead
+            # server, unknown sweep): one line, not a traceback.
+            print(
+                f"python -m repro {args.command}: error: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     names = (
         ("table1",) + FIGURES + ("headline", "chaos")
         if args.command == "all"

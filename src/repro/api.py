@@ -50,6 +50,11 @@ __all__ = [
     "report",
     "fsck",
     "chaos_harness",
+    "serve",
+    "submit",
+    "status",
+    "wait",
+    "fetch",
     "Machine",
     "RunResult",
     "SweepPoint",
@@ -268,6 +273,118 @@ def chaos_harness(**kwargs):
     return _chaos_impl(**kwargs)
 
 
+def serve(
+    cache_dir=None,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: Optional[int] = None,
+    **kwargs,
+):
+    """Run the experiment service until SIGTERM/SIGINT: an HTTP/JSON
+    server over the durable job store, the supervised worker fleet, and
+    the result cache, so many clients share one execution backend.  See
+    :mod:`repro.serve`, :mod:`repro.client`, and docs/SERVICE.md; the
+    CLI form is ``python -m repro serve``."""
+    from repro.serve import serve as _serve_impl
+
+    return _serve_impl(
+        cache_dir=cache_dir, host=host, port=port, workers=workers, **kwargs
+    )
+
+
+def submit(
+    configs: Union[str, Sequence[str]],
+    workloads: Union[str, Sequence[str]],
+    cores: Union[int, Sequence[int]] = (16,),
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    server: Optional[str] = None,
+    **kwargs,
+) -> str:
+    """Submit a sweep grid to a running service (``server`` or
+    ``REPRO_SERVER``) without waiting; returns the content-addressed
+    sweep id for :func:`status` / :func:`wait` / :func:`fetch`.
+    Same grid keywords as :func:`sweep`."""
+    from repro.client import Client
+
+    return Client(server).submit(
+        configs=configs,
+        workloads=workloads,
+        cores=cores,
+        scale=scale,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def status(sweep_id: str, server: Optional[str] = None) -> Dict:
+    """A submitted sweep's status document (per-job statuses, counts,
+    ``done``/``ok`` rollups) from the service."""
+    from repro.client import Client
+
+    return Client(server).status(sweep_id)
+
+
+def wait(
+    sweep_id: str,
+    server: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+) -> Dict:
+    """Block (long-polling the service) until every job of the sweep is
+    terminal; returns the final status document, raising
+    :class:`~repro.common.errors.ServiceError` on failures/timeout."""
+    from repro.client import Client
+
+    return Client(server).wait(sweep_id, timeout_s=timeout_s)
+
+
+def fetch(sweep_id: str, server: Optional[str] = None) -> List[SweepPoint]:
+    """Fetch a finished sweep's points from the service -- byte-identical
+    to running the same grid locally."""
+    from repro.client import Client
+
+    return Client(server).fetch(sweep_id)
+
+
+def _sweep_remote(server, configs, workloads, cores, scale, seed, checkers,
+                  return_stats, rejected):
+    """The ``server=`` path of :func:`sweep`: submit, wait, fetch."""
+    from repro.client import Client
+    from repro.common.errors import ConfigError
+
+    for name, value in rejected.items():
+        if value:
+            raise ConfigError(
+                f"sweep({name}=...) does not combine with server=: the "
+                "service owns its own engine; set that up server-side"
+            )
+    if isinstance(workloads, dict):
+        raise ConfigError(
+            "explicit workload factories do not cross the wire; pass "
+            "registry workload names when sweeping through a server"
+        )
+    client = Client(server)
+    sid = client.submit(
+        configs=configs,
+        workloads=workloads,
+        cores=cores,
+        scale=scale,
+        seed=seed,
+        checkers=tuple(checkers),
+    )
+    client.wait(sid)
+    points = client.fetch(sid)
+    if return_stats:
+        created = client.submissions[sid]["created_jobs"]
+        stats = EngineStats(
+            total=len(points),
+            cache_hits=len(points) - created,
+            executed=created,
+        )
+        return points, stats
+    return points
+
+
 def sweep(
     configs: Sequence[str],
     workloads: Union[Dict[str, Callable], Sequence[str], str],
@@ -281,6 +398,7 @@ def sweep(
     machine_hook: Optional[Callable] = None,
     return_stats: bool = False,
     checkers: Sequence[str] = (),
+    server: Optional[str] = None,
 ) -> Union[List[SweepPoint], Tuple[List[SweepPoint], EngineStats]]:
     """Run a (config x workload x cores) grid through the engine.
 
@@ -290,7 +408,22 @@ def sweep(
     from the on-disk result cache; ``manifest`` makes the sweep
     resumable.  With ``return_stats`` the engine's
     :class:`EngineStats` (cache hits, retries, failures) ride along.
+
+    With ``server`` (a ``repro serve`` URL), the grid is submitted to
+    that service instead of running locally -- the call blocks until the
+    service finishes and returns the same points, byte-identical; the
+    engine knobs (``workers``/``cache_dir``/...) then belong to the
+    server, not this call.
     """
+    if server is not None:
+        return _sweep_remote(
+            server, configs, workloads, cores, scale, seed, checkers,
+            return_stats,
+            rejected={
+                "workers": workers, "cache_dir": cache_dir,
+                "manifest": manifest, "machine_hook": machine_hook,
+            },
+        )
     if isinstance(workloads, str):
         workloads = (workloads,)
     if not isinstance(workloads, dict):

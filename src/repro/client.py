@@ -1,0 +1,263 @@
+"""Python client for the ``repro serve`` experiment service.
+
+A thin stdlib-only (``urllib``) wrapper over the versioned HTTP API of
+:mod:`repro.serve`, mirroring the :mod:`repro.api` verbs::
+
+    from repro.client import Client
+
+    c = Client("http://127.0.0.1:8765")      # or REPRO_SERVER
+    sid = c.submit(configs=["pthread", "msa-omu-2"],
+                   workloads=["canneal"], cores=[16], scale=0.25)
+    c.wait(sid)                               # long-polls until done
+    points = c.fetch(sid)                     # List[SweepPoint]
+
+Results are reconstructed with :meth:`RunResult.from_dict` from the
+server's cached bytes, so a fetched point serializes byte-identically
+to the same point run locally -- the service changes *where* a sweep
+runs, never *what* it produces.  ``repro.api.sweep(..., server=URL)``
+uses this client transparently.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.common import config as repro_config
+from repro.common.errors import ConfigError, ServiceError
+from repro.common.schema import SERVE_SCHEMA
+from repro.harness.runner import RunResult
+from repro.harness.sweep import SweepPoint
+
+DEFAULT_TIMEOUT_S = 600.0
+#: Per-request ``?wait=`` chunk while :meth:`Client.wait` long-polls
+#: (the server caps each request; the client re-issues until done).
+WAIT_CHUNK_S = 30.0
+
+
+class Client:
+    """One experiment-service endpoint (see module docstring).
+
+    ``server`` falls back to the ``REPRO_SERVER`` environment knob
+    (see :mod:`repro.common.config`); a missing endpoint is a
+    :class:`ConfigError` at construction, not a connection error
+    later."""
+
+    def __init__(self, server: Optional[str] = None, timeout_s: float = DEFAULT_TIMEOUT_S):
+        server = repro_config.server(server)
+        if server is None:
+            raise ConfigError(
+                "no server endpoint: pass server= or set REPRO_SERVER "
+                "(e.g. http://127.0.0.1:8765)"
+            )
+        self.base = str(server).rstrip("/")
+        if not self.base.startswith(("http://", "https://")):
+            self.base = "http://" + self.base
+        self.timeout_s = timeout_s
+        #: Per-sweep submission accounting from the last ``submit``
+        #: of each id: ``{sid: (created_jobs, deduped_jobs)}``.
+        self.submissions: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        path: str,
+        body: Optional[Dict] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict:
+        data = None
+        if body is not None:
+            data = json.dumps(body, sort_keys=True).encode()
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                req, timeout=timeout_s if timeout_s is not None else self.timeout_s
+            ) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get("error", "")
+            except Exception:
+                message = ""
+            raise ServiceError(
+                f"{path}: HTTP {exc.code}"
+                + (f": {message}" if message else "")
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base}: {exc.reason}"
+            ) from None
+
+    def _request_text(self, path: str) -> str:
+        try:
+            with urllib.request.urlopen(
+                self.base + path, timeout=self.timeout_s
+            ) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(f"{path}: HTTP {exc.code}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Verbs (mirror repro.api.sweep's keywords)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        configs: Union[str, Sequence[str]],
+        workloads: Union[str, Sequence[str]],
+        cores: Union[int, Sequence[int]] = (16,),
+        scale: float = 1.0,
+        seed: int = 2015,
+        params: Optional[Dict[str, Any]] = None,
+        check: bool = True,
+        checkers: Sequence[str] = (),
+        max_events: Optional[int] = None,
+    ) -> str:
+        """Submit a sweep grid; returns the sweep id (content-addressed
+        -- resubmitting the same grid returns the same id and runs
+        nothing that is already done or in flight)."""
+        body: Dict[str, Any] = {
+            "schema": SERVE_SCHEMA,
+            "configs": [configs] if isinstance(configs, str) else list(configs),
+            "workloads": (
+                [workloads] if isinstance(workloads, str) else list(workloads)
+            ),
+            "cores": [cores] if isinstance(cores, int) else list(cores),
+            "scale": scale,
+            "seed": seed,
+            "check": check,
+            "checkers": list(checkers),
+        }
+        if params:
+            body["params"] = dict(params)
+        if max_events is not None:
+            body["max_events"] = max_events
+        doc = self._request("/v1/sweeps", body=body)
+        sid = doc["id"]
+        self.submissions[sid] = {
+            "created_jobs": doc.get("created_jobs", 0),
+            "deduped_jobs": doc.get("deduped_jobs", 0),
+        }
+        return sid
+
+    def status(self, sweep_id: str) -> Dict:
+        """The sweep's status document: per-job status rows, status
+        counts, and the ``done``/``ok`` rollups."""
+        return self._request(f"/v1/sweeps/{sweep_id}")
+
+    def wait(self, sweep_id: str, timeout_s: Optional[float] = None) -> Dict:
+        """Long-poll until every job is terminal; returns the final
+        status document.  Raises :class:`ServiceError` on timeout or if
+        any job was quarantined (its per-job ``error`` strings are in
+        the message)."""
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while True:
+            chunk = WAIT_CHUNK_S
+            if deadline is not None:
+                chunk = min(chunk, max(deadline - time.monotonic(), 0.0))
+            doc = self._request(
+                f"/v1/sweeps/{sweep_id}?wait={chunk:g}",
+                timeout_s=self.timeout_s + chunk,
+            )
+            if doc["done"]:
+                if not doc["ok"]:
+                    bad = [
+                        f"{j['config']}/{j['workload']}: {j['error']}"
+                        for j in doc["jobs"]
+                        if j["status"] == "quarantined"
+                    ]
+                    raise ServiceError(
+                        f"sweep {sweep_id} finished with failures: "
+                        + "; ".join(bad)
+                    )
+                return doc
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"sweep {sweep_id} not done within {timeout_s:g}s "
+                    f"(counts: {doc['counts']})"
+                )
+
+    def fetch(self, sweep_id: str) -> List[SweepPoint]:
+        """Fetch a finished sweep's results as
+        :class:`~repro.harness.sweep.SweepPoint` rows, in submission
+        order -- the same order and bytes a local ``api.sweep`` of the
+        same grid produces."""
+        doc = self.status(sweep_id)
+        points = []
+        for job in doc["jobs"]:
+            jd = self.fetch_job(job["key"])
+            if jd["result"] is None:
+                raise ServiceError(
+                    f"job {job['key'][:12]} ({job['config']}/"
+                    f"{job['workload']}) has no result yet "
+                    f"(status: {jd['status']})"
+                )
+            points.append(
+                SweepPoint(
+                    config=job["config"],
+                    workload=job["workload"],
+                    n_cores=job["cores"],
+                    scale=job["scale"],
+                    result=RunResult.from_dict(jd["result"]),
+                )
+            )
+        return points
+
+    def fetch_job(self, key: str) -> Dict:
+        """One job's document (status, attempts, error, and -- when
+        done -- its serialized :class:`RunResult`)."""
+        return self._request(f"/v1/jobs/{key}")
+
+    def sweeps(self) -> List[Dict]:
+        """Summaries of every sweep the server knows about."""
+        return self._request("/v1/sweeps")["sweeps"]
+
+    def healthz(self) -> Dict:
+        return self._request("/v1/healthz")
+
+    def metrics(self) -> str:
+        """The server's ``/v1/metrics`` Prometheus text."""
+        return self._request_text("/v1/metrics")
+
+    def report(self, baseline: Optional[str] = None) -> str:
+        """The server's cache-wide HTML sweep report."""
+        path = "/v1/report"
+        if baseline:
+            path += f"?baseline={baseline}"
+        return self._request_text(path)
+
+
+def discover(cache_dir=None) -> Optional[str]:
+    """URL of a live server advertising on ``cache_dir`` (via the
+    ``serve.json`` discovery file a running server maintains), or
+    ``None``.  Lets co-located tools find the service without
+    configuration."""
+    cache_dir = repro_config.cache_dir(cache_dir)
+    if cache_dir is None:
+        return None
+    from pathlib import Path
+
+    path = Path(cache_dir).expanduser() / "serve.json"
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    url = doc.get("url")
+    return url if isinstance(url, str) else None
+
+
+__all__ = ["Client", "DEFAULT_TIMEOUT_S", "discover"]

@@ -5,6 +5,8 @@ from repro.common.types import SyncResult, SyncType, SyncOp
 from repro.common.errors import (
     ReproError,
     ConfigError,
+    SchemaError,
+    ServiceError,
     SimulationError,
     DeadlockError,
     ProtocolError,
@@ -25,6 +27,8 @@ __all__ = [
     "SyncOp",
     "ReproError",
     "ConfigError",
+    "SchemaError",
+    "ServiceError",
     "SimulationError",
     "DeadlockError",
     "ProtocolError",

@@ -13,6 +13,18 @@ class ConfigError(ReproError):
     """Invalid machine/experiment configuration."""
 
 
+class SchemaError(ReproError):
+    """A serialized payload carries an incompatible schema version
+    (see :mod:`repro.common.schema`).  Raised instead of silently
+    mis-parsing a result, job spec, or service message written by an
+    incompatible build."""
+
+
+class ServiceError(ReproError):
+    """The experiment service returned an error, or could not be
+    reached (see :mod:`repro.serve` and :mod:`repro.client`)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

@@ -597,7 +597,20 @@ def export_fig6_csv(grid: SpeedupGrid, path: str) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Thin alias: the real CLI lives in :mod:`repro.__main__`."""
+    """Deprecated alias: the CLI lives in :mod:`repro.__main__`.
+
+    Kept so old ``python -m repro.harness.experiments`` invocations and
+    scripts importing :func:`main` keep working, but new code should
+    call ``python -m repro`` / :func:`repro.__main__.main` directly.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.harness.experiments.main is deprecated; use "
+        "`python -m repro` (repro.__main__.main) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.__main__ import main as cli_main
 
     return cli_main(argv)

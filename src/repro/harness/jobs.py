@@ -30,9 +30,10 @@ substrate they now share:
   with its traceback instead of starving the sweep.  Without a cache it
   falls back to the original in-memory pool.
 
-Environment defaults: ``REPRO_WORKERS`` (worker count when ``workers``
-is not given; unset means serial) and ``REPRO_CACHE_DIR`` (cache
-location when ``cache_dir`` is not given; unset means no cache).
+Environment defaults come from :mod:`repro.common.config`:
+``REPRO_WORKERS`` (worker count when ``workers`` is not given; unset
+means serial) and ``REPRO_CACHE_DIR`` (cache location when
+``cache_dir`` is not given; unset means no cache).
 """
 
 from __future__ import annotations
@@ -48,7 +49,9 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common import config as repro_config
 from repro.common.errors import ConfigError
+from repro.common.schema import JOBSPEC_SCHEMA, check_schema
 from repro.harness.configs import machine_params
 from repro.harness.report import ProgressReporter
 from repro.harness.runner import RunResult
@@ -94,6 +97,75 @@ class JobSpec:
 
     def describe(self) -> str:
         return f"{self.workload}/{self.config}@{self.cores}"
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Pure-data wire form (HTTP submission to ``repro serve``).
+
+        Carries a :data:`~repro.common.schema.JOBSPEC_SCHEMA` stamp and
+        only the fields a remote engine can rebuild the point from;
+        explicit factories and fault plans are process-local objects and
+        are refused rather than lossily encoded.
+        """
+        if self.fault_plan is not None:
+            raise ConfigError(
+                "fault_plan does not cross the wire; submit fault "
+                "experiments locally or encode the plan as params"
+            )
+        if self.factory is not None:
+            raise ConfigError(
+                "explicit workload factories do not cross the wire; "
+                "use a registry workload name instead"
+            )
+        return {
+            "schema": JOBSPEC_SCHEMA,
+            "config": self.config,
+            "workload": self.workload,
+            "cores": self.cores,
+            "scale": self.scale,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "max_events": self.max_events,
+            "check": self.check,
+            "checkers": list(self.checkers),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Inverse of :meth:`to_wire`.  The schema stamp is checked
+        first (unknown majors raise
+        :class:`~repro.common.errors.SchemaError`); malformed fields
+        raise :class:`ConfigError` naming the offender."""
+        if not isinstance(data, dict):
+            raise ConfigError(f"job spec payload must be an object, got "
+                              f"{type(data).__name__}")
+        check_schema(data.get("schema"), JOBSPEC_SCHEMA, what="job spec")
+        config = data.get("config")
+        workload = data.get("workload")
+        if not isinstance(config, str) or not isinstance(workload, str):
+            raise ConfigError(
+                "job spec needs string 'config' and 'workload' fields"
+            )
+        params = data.get("params") or {}
+        checkers = data.get("checkers") or ()
+        if not isinstance(params, dict):
+            raise ConfigError("job spec 'params' must be an object")
+        if not all(isinstance(c, str) for c in checkers):
+            raise ConfigError("job spec 'checkers' must be monitor names")
+        try:
+            max_events = data.get("max_events", DEFAULT_MAX_EVENTS)
+            return cls(
+                config=config,
+                workload=workload,
+                cores=int(data.get("cores", 16)),
+                scale=float(data.get("scale", 1.0)),
+                seed=int(data.get("seed", 2015)),
+                params=dict(params),
+                max_events=None if max_events is None else int(max_events),
+                check=bool(data.get("check", True)),
+                checkers=tuple(checkers),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed job spec field: {exc}") from None
 
     def resolved_params(self):
         """The final (MachineParams, library) this spec will run with."""
@@ -543,11 +615,9 @@ class Engine:
         seed: int = 0,
         chaos=None,
     ):
-        if workers is None:
-            workers = int(os.environ.get("REPRO_WORKERS", "0") or "0")
-        self.workers = max(1, workers)
-        if cache_dir is None:
-            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        workers = repro_config.workers(workers)
+        self.workers = max(1, workers if workers is not None else 1)
+        cache_dir = repro_config.cache_dir(cache_dir)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.manifest = SweepManifest(manifest) if manifest else None
         self.retries = retries

@@ -7,6 +7,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
+from repro.common.schema import RESULT_SCHEMA, check_schema
 from repro.machine import Machine
 from repro.workloads.base import Workload, WorkloadEnv
 
@@ -38,8 +39,11 @@ class RunResult:
         return baseline.cycles / self.cycles if self.cycles else 0.0
 
     def to_dict(self) -> Dict:
-        """Plain-dict form (JSON-ready; key order is field order)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Plain-dict form (JSON-ready; a ``schema`` stamp followed by
+        the fields in field order)."""
+        out = {"schema": RESULT_SCHEMA}
+        out.update({f.name: getattr(self, f.name) for f in fields(self)})
+        return out
 
     def to_json(self) -> str:
         """Serialize to JSON.  Serialization is canonical: two equal
@@ -49,8 +53,16 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunResult":
-        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
-        caches survive additive schema changes."""
+        """Inverse of :meth:`to_dict`.
+
+        The ``schema`` stamp is validated first: a payload written by
+        an incompatible major version raises
+        :class:`~repro.common.errors.SchemaError` instead of silently
+        mis-parsing (stamps are absent from pre-versioning payloads,
+        which still load).  Unknown keys are otherwise ignored so old
+        caches survive additive schema changes.
+        """
+        check_schema(data.get("schema"), RESULT_SCHEMA, what="result")
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 

@@ -241,6 +241,23 @@ class JobStore:
             raise
         return status
 
+    def requeue(self, key: str) -> bool:
+        """Force a terminal row (``done`` or ``quarantined``) back to
+        ``pending`` with a fresh attempt budget.  The service uses this
+        when a row says done but its cached result has been evicted
+        (e.g. by ``fsck`` after corruption) -- the row's claim of
+        completion is only as good as the bytes backing it."""
+        now = self.clock()
+        cur = self._db.execute(
+            "UPDATE jobs SET status='pending', attempts=0, error=NULL,"
+            " not_before=0, lease_owner=NULL, lease_expires=NULL,"
+            " updated=? WHERE key=? AND status IN ('done', 'quarantined')",
+            (now, key),
+        )
+        if cur.rowcount:
+            self._bump("requeued", commit=True)
+        return bool(cur.rowcount)
+
     # ------------------------------------------------------------------
     # Claiming
     # ------------------------------------------------------------------

@@ -1,0 +1,45 @@
+"""``repro serve``: a long-running experiment service over HTTP/JSON.
+
+The service wraps the existing engine substrate -- the durable
+:class:`~repro.resilience.store.JobStore`, the supervised worker fleet,
+and the content-addressed result cache -- behind a small versioned
+HTTP API, so many clients can share one execution backend and one
+cache.  See :mod:`repro.serve.server` for the endpoint list,
+:mod:`repro.serve.wire` for the JSON formats, :mod:`repro.client` for
+the Python client, and ``docs/SERVICE.md`` for the guide.
+
+Start it from the CLI::
+
+    python -m repro serve --cache-dir .repro-cache --workers 4
+
+or embed it (tests do this; ``port=0`` picks a free port)::
+
+    from repro.serve import Server
+    srv = Server(cache_dir=tmp, port=0).start()
+    ...  # talk to srv.url
+    srv.stop()
+"""
+
+from repro.serve.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    Server,
+    serve,
+)
+from repro.serve.wire import (
+    SWEEP_ID_LEN,
+    expand_sweep_request,
+    sweep_id,
+    sweep_record,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "SWEEP_ID_LEN",
+    "Server",
+    "expand_sweep_request",
+    "serve",
+    "sweep_id",
+    "sweep_record",
+]

@@ -183,5 +183,6 @@ class TestCli:
     def test_experiments_main_is_thin_alias(self, capsys):
         from repro.harness.experiments import main
 
-        assert main(["table1"]) == 0
+        with pytest.warns(DeprecationWarning, match="python -m repro"):
+            assert main(["table1"]) == 0
         assert "MSA/OMU" in capsys.readouterr().out

@@ -1,0 +1,269 @@
+"""The service client and the config/schema satellites.
+
+Covers :mod:`repro.client` against an embedded server (including the
+byte-identity contract with local runs), the ``repro.api`` service
+verbs, the consolidated :mod:`repro.common.config` knob resolver, the
+schema-version pins, and the new CLI subcommand parsers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.client import Client, discover
+from repro.common import config as repro_config
+from repro.common.errors import ConfigError, SchemaError, ServiceError
+from repro.serve import Server
+
+POINT = dict(configs="pthread", workloads="canneal", cores=4, scale=0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    srv = Server(
+        cache_dir=tmp_path_factory.mktemp("client-cache"), port=0
+    ).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return Client(server.url)
+
+
+class TestClient:
+    def test_needs_endpoint(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVER", raising=False)
+        with pytest.raises(ConfigError, match="REPRO_SERVER"):
+            Client()
+
+    def test_env_endpoint(self, server, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVER", server.url)
+        assert Client().healthz()["ok"] is True
+
+    def test_scheme_defaulted(self, server):
+        bare = server.url[len("http://"):]
+        assert Client(bare).base == server.url
+
+    def test_submit_wait_fetch(self, client):
+        sid = client.submit(**POINT)
+        doc = client.wait(sid, timeout_s=180)
+        assert doc["ok"] and doc["counts"] == {"done": 1}
+        points = client.fetch(sid)
+        assert len(points) == 1
+        assert points[0].config == "pthread"
+        assert points[0].workload == "canneal"
+        assert points[0].result.cycles > 0
+
+    def test_fetch_is_byte_identical_to_local(self, client):
+        """The service changes where a sweep runs, never what it
+        produces: the fetched RunResult serializes to the same bytes
+        as a local run of the same point."""
+        sid = client.submit(**POINT)
+        client.wait(sid, timeout_s=180)
+        [remote] = client.fetch(sid)
+        [local] = api.sweep(
+            configs=["pthread"],
+            workloads=["canneal"],
+            cores=(4,),
+            scale=0.1,
+            seed=7,
+        )
+        assert remote.result.to_json() == local.result.to_json()
+
+    def test_resubmission_hits_cache(self, client):
+        sid = client.submit(**POINT)
+        client.wait(sid, timeout_s=180)
+        assert client.submit(**POINT) == sid
+        sub = client.submissions[sid]
+        assert sub["created_jobs"] == 0 and sub["deduped_jobs"] == 1
+
+    def test_wait_timeout(self, client):
+        sid = client.submit(**POINT)
+        client.wait(sid, timeout_s=180)
+        # Already done: even a zero timeout returns immediately.
+        assert client.wait(sid, timeout_s=0)["done"]
+
+    def test_unknown_sweep_is_service_error(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client.status("feedfacefeedface")
+
+    def test_metrics_and_report(self, client):
+        assert "repro_serve_http_requests" in client.metrics()
+        assert "<html" in client.report(baseline="pthread").lower()
+
+    def test_unreachable_server(self):
+        c = Client("http://127.0.0.1:9", timeout_s=2.0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            c.healthz()
+
+    def test_discover(self, server, tmp_path):
+        assert discover(server.cache_dir) == server.url
+        assert discover(tmp_path) is None
+
+
+class TestApiVerbs:
+    def test_sweep_routes_through_server(self, server):
+        points, stats = api.sweep(
+            configs=["pthread"],
+            workloads="canneal",
+            cores=(4,),
+            scale=0.1,
+            seed=7,
+            server=server.url,
+            return_stats=True,
+        )
+        assert len(points) == 1 and stats.total == 1
+        # This grid already ran in this module: all hits, no execution.
+        assert stats.hit_rate >= 0.9
+
+    def test_submit_status_wait_fetch(self, server):
+        sid = api.submit(**POINT, server=server.url)
+        assert api.wait(sid, server=server.url, timeout_s=180)["ok"]
+        assert api.status(sid, server=server.url)["done"]
+        assert len(api.fetch(sid, server=server.url)) == 1
+
+    def test_server_rejects_engine_kwargs(self, server):
+        with pytest.raises(ConfigError, match="server"):
+            api.sweep(
+                configs=["pthread"],
+                workloads="canneal",
+                server=server.url,
+                workers=4,
+            )
+
+    def test_server_rejects_factories(self, server):
+        with pytest.raises(ConfigError, match="registry"):
+            api.sweep(
+                configs=["pthread"],
+                workloads={"x": lambda n, s: None},
+                server=server.url,
+            )
+
+    def test_package_exports(self):
+        import repro
+
+        for name in ("submit", "status", "wait", "fetch"):
+            assert callable(getattr(repro, name))
+        # ``repro.serve`` is the subpackage; the verb is api.serve.
+        assert callable(api.serve)
+
+
+class TestConfigResolver:
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert repro_config.workers(8) == 8
+        assert repro_config.workers(None) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert repro_config.workers(None) is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/x")
+        assert repro_config.cache_dir(None) == "/tmp/x"
+        monkeypatch.setenv("REPRO_SERVER", "http://h:1")
+        assert repro_config.server(None) == "http://h:1"
+
+    def test_bad_int_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ConfigError, match="REPRO_WORKERS"):
+            repro_config.workers(None)
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            repro_config.get("no_such_knob")
+
+    def test_describe_covers_every_knob(self):
+        text = repro_config.describe()
+        for env in ("REPRO_WORKERS", "REPRO_CACHE_DIR", "REPRO_SERVER",
+                    "REPRO_BENCH_FULL"):
+            assert env in text
+
+
+class TestSchemaPins:
+    def test_result_round_trip_carries_stamp(self):
+        from repro.harness.runner import RunResult
+
+        [point] = api.sweep(
+            configs=["pthread"], workloads=["canneal"], cores=(4,),
+            scale=0.1, seed=7,
+        )
+        data = json.loads(point.result.to_json())
+        assert data["schema"] == "repro.result/1"
+        again = RunResult.from_dict(data)
+        assert again.to_json() == point.result.to_json()
+
+    def test_result_future_major_rejected(self):
+        from repro.harness.runner import RunResult
+
+        with pytest.raises(SchemaError, match="repro.result/9"):
+            RunResult.from_dict({"schema": "repro.result/9", "cycles": 1})
+
+    def test_jobspec_future_major_rejected(self):
+        from repro.harness.jobs import JobSpec
+
+        wire = JobSpec(
+            config="pthread", workload="canneal", cores=4
+        ).to_wire()
+        assert wire["schema"] == "repro.jobspec/1"
+        wire["schema"] = "repro.jobspec/2"
+        with pytest.raises(SchemaError):
+            JobSpec.from_wire(wire)
+
+    def test_legacy_unstamped_documents_accepted(self):
+        """Pre-versioning cache entries (no stamp) must keep loading."""
+        from repro.harness.runner import RunResult
+
+        [point] = api.sweep(
+            configs=["pthread"], workloads=["canneal"], cores=(4,),
+            scale=0.1, seed=7,
+        )
+        data = json.loads(point.result.to_json())
+        del data["schema"]
+        assert RunResult.from_dict(data).cycles == point.result.cycles
+
+
+class TestCliParsers:
+    def test_serve_parser(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", "/tmp/c", "--port", "0",
+             "--workers", "2", "--lease", "5"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0 and args.workers == 2 and args.lease == 5.0
+
+    def test_submit_parser(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "--server", "http://h:1", "--configs", "pthread",
+             "--workloads", "canneal", "--cores", "4", "--wait"]
+        )
+        assert args.command == "submit"
+        assert args.server == "http://h:1" and args.wait
+
+    def test_status_fetch_parsers(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["status", "abc123"])
+        assert args.command == "status" and args.sweep_id == "abc123"
+        args = build_parser().parse_args(
+            ["fetch", "abc123", "--baseline", "pthread", "--csv", "o.csv"]
+        )
+        assert args.command == "fetch" and args.baseline == "pthread"
+
+    def test_cli_fetch_round_trip(self, server, capsys):
+        from repro.__main__ import main
+
+        c = Client(server.url)
+        sid = c.submit(**POINT)
+        c.wait(sid, timeout_s=180)
+        assert main(["fetch", "--server", server.url, sid]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("config,workload")
+        assert "pthread,canneal,4,0.1" in out

@@ -133,7 +133,7 @@ class TestExperimentDrivers:
         ]
 
     def test_cli_table1(self, capsys):
-        from repro.harness.experiments import main
+        from repro.__main__ import main
 
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
