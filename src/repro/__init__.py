@@ -59,8 +59,9 @@ __version__ = "1.3.0"
 
 #: Facade names resolved lazily so ``import repro`` stays light (the
 #: harness pulls in the whole machine model) and free of import cycles.
-# ("serve" is deliberately absent: ``repro.serve`` is the service
-# subpackage; the blocking verb lives at ``repro.api.serve``.)
+# ("serve" and "traffic" are deliberately absent: ``repro.serve`` and
+# ``repro.traffic`` are subpackages; the corresponding verbs live at
+# ``repro.api.serve`` / ``repro.api.traffic``.)
 _API_NAMES = (
     "build", "run", "sweep", "bench", "observe", "report",
     "fsck", "chaos_harness", "submit", "status", "wait",

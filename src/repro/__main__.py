@@ -10,6 +10,10 @@ the parallel engine::
     python -m repro verify --workload fluidanimate --config msa-omu-2
     python -m repro sweep --configs pthread msa-omu-2 \\
         --workloads canneal swaptions --workers 4 --csv out.csv
+    python -m repro traffic --scenario bursty --config msa-omu-2 --scale 2
+    python -m repro traffic --sweep --loads 0.5 1 2 4 \\
+        --csv load.csv --html load.html --cache-dir ~/.cache/repro
+    python -m repro describe
     python -m repro obs --config msa-omu-2 --workload streamcluster \\
         --trace trace.json --metrics metrics.prom --html run.html
     python -m repro report --cache-dir ~/.cache/repro \\
@@ -47,9 +51,9 @@ from repro.harness import experiments
 
 FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
 COMMANDS = ("table1",) + FIGURES + (
-    "headline", "chaos", "run", "verify", "sweep", "perf", "obs",
-    "report", "fsck", "chaos-harness", "serve", "submit", "status",
-    "fetch", "all",
+    "headline", "chaos", "run", "verify", "sweep", "traffic", "describe",
+    "perf", "obs", "report", "fsck", "chaos-harness", "serve", "submit",
+    "status", "fetch", "all",
 )
 
 
@@ -306,7 +310,7 @@ def _run_chaos_harness(args) -> int:
 
 def _run_sweep(args) -> int:
     from repro import api
-    from repro.harness.sweep import add_speedups, to_csv
+    from repro.harness.sweep import add_request_metrics, add_speedups, to_csv
 
     checkers = ()
     if args.check:
@@ -328,12 +332,145 @@ def _run_sweep(args) -> int:
     )
     if args.baseline:
         add_speedups(points, baseline_config=args.baseline)
+    add_request_metrics(points)  # no-op unless traffic points are present
     text = to_csv(points, path=args.csv)
     if args.csv:
         print(f"wrote {args.csv} ({len(points)} points)")
     else:
         print(text, end="")
     print(f"engine: {stats.describe()}", file=sys.stderr)
+    return 0
+
+
+def _run_traffic(args) -> int:
+    from repro import api
+    from repro.traffic import TRAFFIC
+
+    scenario = args.scenario
+    if scenario in TRAFFIC:
+        pass
+    elif f"traffic.{scenario}" in TRAFFIC:
+        scenario = f"traffic.{scenario}"
+    else:
+        print(
+            f"python -m repro traffic: error: unknown scenario "
+            f"{args.scenario!r}; options: {sorted(TRAFFIC)}",
+            file=sys.stderr,
+        )
+        return 2
+    checkers = ()
+    if args.check:
+        from repro.verify import DEFAULT_MONITORS
+
+        checkers = DEFAULT_MONITORS
+    fault_plan = None
+    if args.chaos is not None:
+        from repro.faults import drop_plan
+
+        fault_plan = drop_plan(args.chaos, seed=args.seed)
+    cores = args.cores[0] if isinstance(args.cores, list) else args.cores
+
+    if not args.sweep:
+        result = api.run(
+            args.config,
+            scenario,
+            cores=cores,
+            seed=args.seed,
+            scale=args.scale,
+            fault_plan=fault_plan,
+            checkers=checkers,
+            raise_violations=False,
+        )
+        print(result.describe())
+        m = result.workload_metrics
+        print(
+            f"  traffic: {int(m['traffic.done'])}/{int(m['traffic.offered'])} "
+            f"done, {int(m['traffic.shed'])} shed, "
+            f"{int(m['traffic.timeout'])} timed out; sojourn "
+            f"p50={m['traffic.p50']:.0f} p99={m['traffic.p99']:.0f} "
+            f"p999={m['traffic.p999']:.0f} cy; "
+            f"goodput {m['traffic.goodput_rpk']:.2f} req/kcy "
+            f"(offered {m['traffic.offered_rpk']:.2f})"
+        )
+        if args.html:
+            from repro.obs import render_run_report
+
+            with open(args.html, "w") as f:
+                f.write(render_run_report(result))
+            print(f"wrote HTML run report to {args.html}")
+        if result.check_report is not None and not result.check_report["ok"]:
+            return 1
+        return 0
+
+    from repro.harness.sweep import to_csv
+
+    points, stats = api.traffic(
+        scenario=scenario,
+        configs=args.configs,
+        loads=args.loads,
+        cores=cores,
+        seed=args.seed,
+        checkers=checkers,
+        fault_plan=fault_plan,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        manifest=args.manifest,
+        progress=args.progress,
+        return_stats=True,
+    )
+    configs = sorted({p.config for p in points})
+    loads = sorted({p.scale for p in points})
+    by_key = {(p.config, p.scale): p for p in points}
+    header = "load    " + "".join(f"{c:>24}" for c in configs)
+    print(header)
+    for load in loads:
+        cells = []
+        for config in configs:
+            p = by_key.get((config, load))
+            if p is None:
+                cells.append(f"{'-':>24}")
+                continue
+            m = p.result.workload_metrics
+            cells.append(
+                f"{m['traffic.p99']:>10.0f}cy {m['traffic.goodput_rpk']:>8.2f}rpk"
+            )
+        print(f"x{load:<7g}" + "".join(cells))
+    print("(cells: p99 sojourn, goodput in requests/kilocycle)")
+    if args.csv:
+        to_csv(points, path=args.csv)
+        print(f"wrote {args.csv} ({len(points)} points)")
+    if args.html:
+        from repro.obs import render_sweep_report
+
+        with open(args.html, "w") as f:
+            f.write(
+                render_sweep_report(
+                    points,
+                    title=f"repro traffic load sweep: {scenario}",
+                )
+            )
+        print(f"wrote HTML sweep report to {args.html}")
+    print(f"engine: {stats.describe()}", file=sys.stderr)
+    return 0
+
+
+def _run_describe(args) -> int:
+    from repro.harness.configs import CONFIG_NAMES
+    from repro.traffic import ARRIVALS, TRAFFIC
+    from repro.workloads import microbench
+    from repro.workloads.kernels import KERNELS
+
+    sections = (
+        ("machine configurations", CONFIG_NAMES),
+        ("kernels", sorted(KERNELS)),
+        ("microbenches", sorted(microbench.MICROBENCHES)),
+        ("traffic scenarios", sorted(TRAFFIC)),
+        ("arrival processes", sorted(ARRIVALS)),
+    )
+    for title, names in sections:
+        print(f"{title}:")
+        for name in names:
+            print(f"  {name}")
     return 0
 
 
@@ -693,6 +830,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach every invariant monitor to each point",
     )
 
+    p = sub.add_parser(
+        "traffic",
+        help="open-loop traffic: one scenario run, or a cached load "
+        "sweep (offered load vs p99 across sync backends); see "
+        "docs/TRAFFIC.md",
+    )
+    add_common(p, cores_default=[16])
+    p.add_argument(
+        "--scenario",
+        default="traffic.poisson",
+        help="traffic scenario (poisson/bursty/diurnal/pareto, with or "
+        "without the traffic. prefix)",
+    )
+    p.add_argument(
+        "--config",
+        default="msa-omu-2",
+        help="machine configuration for a single (non --sweep) run",
+    )
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run a load sweep (--loads x --configs) through the engine "
+        "instead of a single scenario",
+    )
+    p.add_argument(
+        "--configs",
+        nargs="+",
+        default=None,
+        help="backends to compare in a sweep (default: msa0 msa-omu-2 "
+        "pthread ideal)",
+    )
+    p.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        help="offered-load multipliers for a sweep (default: 0.5 1 2 4)",
+    )
+    p.add_argument(
+        "--chaos",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="also inject NoC message drops at this rate (repro.faults)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="attach every invariant monitor to each point",
+    )
+    p.add_argument("--manifest", default=None, help="resumable-sweep manifest path")
+    p.add_argument("--csv", default=None, help="write sweep results to this CSV")
+    p.add_argument(
+        "--html", default=None, help="write the HTML report (run or sweep) here"
+    )
+
+    sub.add_parser(
+        "describe",
+        help="list machine configurations, workload registries, and "
+        "traffic scenarios",
+    )
+
     def add_server(p):
         p.add_argument(
             "--server",
@@ -793,6 +993,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_verify(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "traffic":
+        return _run_traffic(args)
+    if args.command == "describe":
+        return _run_describe(args)
     if args.command == "perf":
         return _run_perf(args)
     if args.command == "obs":

@@ -45,6 +45,7 @@ __all__ = [
     "build",
     "run",
     "sweep",
+    "traffic",
     "bench",
     "observe",
     "report",
@@ -148,6 +149,54 @@ def run(
         checkers=checkers,
         raise_violations=raise_violations,
     )
+
+
+def traffic(
+    scenario: str = "traffic.poisson",
+    configs: Sequence[str] = None,
+    loads: Sequence[float] = None,
+    cores: int = 16,
+    seed: int = DEFAULT_SEED,
+    checkers: Sequence[str] = (),
+    fault_plan=None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    manifest=None,
+    progress: bool = False,
+    return_stats: bool = False,
+) -> List[SweepPoint]:
+    """Run an open-loop load sweep: offered load vs tail latency.
+
+    ``scenario`` names a :data:`repro.traffic.TRAFFIC` workload
+    (``traffic.poisson``/``bursty``/``diurnal``/``pareto``); ``loads``
+    are offered-load multipliers (each becomes a cached ``JobSpec``
+    with that ``scale``); ``configs`` are the sync backends to compare.
+    Returns :class:`SweepPoint` rows with the request-latency SLO
+    extras (p50/p99/p999, goodput, shed/timeout) annotated for
+    :func:`to_csv` and the HTML report.  ``fault_plan`` runs the whole
+    sweep under fault injection (overload plus failures).  With
+    ``return_stats`` the engine's :class:`EngineStats` (cache hits,
+    executions, retries) come back as a second value.  See
+    docs/TRAFFIC.md and ``python -m repro traffic``.
+    """
+    from repro.traffic import DEFAULT_CONFIGS, DEFAULT_LOADS, load_sweep
+
+    engine = Engine(
+        workers=workers, cache_dir=cache_dir, manifest=manifest, progress=progress
+    )
+    points = load_sweep(
+        scenario=scenario,
+        configs=tuple(configs) if configs else DEFAULT_CONFIGS,
+        loads=tuple(loads) if loads else DEFAULT_LOADS,
+        cores=cores,
+        seed=seed,
+        checkers=checkers,
+        fault_plan=fault_plan,
+        engine=engine,
+    )
+    if return_stats:
+        return points, engine.stats
+    return points
 
 
 def bench(

@@ -150,6 +150,33 @@ class Histogram:
         rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
         return ordered[rank]
 
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        """Nearest-rank values for a batch of quantiles, each in [0, 1].
+
+        One sort serves the whole batch (and primes the cache used by
+        :meth:`percentile`), so SLO reporting asks for
+        ``quantiles([0.5, 0.99, 0.999])`` instead of three independent
+        percentile calls.
+
+        >>> h = Histogram("lat")
+        >>> for v in range(1, 101):
+        ...     h.add(float(v))
+        >>> h.quantiles([0.5, 0.99, 0.999])
+        [50.0, 99.0, 100.0]
+        """
+        ordered = self._sorted
+        if ordered is None:
+            if not self.samples:
+                return [0.0 for _ in qs]
+            ordered = self._sorted = sorted(self.samples)
+        n = len(ordered)
+        out: List[float] = []
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            out.append(ordered[max(0, math.ceil(q * n) - 1)])
+        return out
+
     def __repr__(self) -> str:
         return (
             f"Histogram({self.name}, n={self.count}, mean={self.mean:.1f})"

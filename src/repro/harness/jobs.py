@@ -214,17 +214,21 @@ def _factory_fingerprint(factory: Optional[Callable]) -> Optional[str]:
 
 
 def resolve_factory(name: str) -> Callable:
-    """Look a workload name up in the kernel and microbench registries."""
+    """Look a workload name up in the kernel, microbench, and traffic
+    registries."""
     from repro.workloads.kernels import KERNELS
     from repro.workloads import microbench
+    from repro.traffic.workload import TRAFFIC
 
     if name in KERNELS:
         return KERNELS[name]
     if name in microbench.MICROBENCHES:
         return microbench.MICROBENCHES[name]
+    if name in TRAFFIC:
+        return TRAFFIC[name]
     raise ConfigError(
         f"unknown workload {name!r}; expected one of "
-        f"{sorted(KERNELS) + sorted(microbench.MICROBENCHES)}"
+        f"{sorted(KERNELS) + sorted(microbench.MICROBENCHES) + sorted(TRAFFIC)}"
     )
 
 

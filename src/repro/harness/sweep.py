@@ -166,6 +166,35 @@ def add_speedups(points: List[SweepPoint], baseline_config: str) -> None:
         p.extras["speedup"] = base / p.result.cycles
 
 
+#: workload_metrics key -> CSV extras column for request-latency SLOs.
+REQUEST_METRIC_COLUMNS = {
+    "traffic.p50": "p50",
+    "traffic.p99": "p99",
+    "traffic.p999": "p999",
+    "traffic.goodput_rpk": "goodput_rpk",
+    "traffic.offered_rpk": "offered_rpk",
+    "traffic.shed": "shed",
+    "traffic.timeout": "timeout",
+}
+
+
+def add_request_metrics(points: List[SweepPoint]) -> None:
+    """Copy request-latency SLO metrics into CSV extras columns.
+
+    Open-loop traffic points (:mod:`repro.traffic`) report sojourn
+    percentiles and goodput in ``RunResult.workload_metrics``; lifting
+    them into ``extras`` makes load-sweep CSVs directly plottable
+    (offered load vs p99) without digging through result JSON.  Points
+    without traffic metrics are left untouched, so this is safe to call
+    on any sweep.
+    """
+    for p in points:
+        metrics = p.result.workload_metrics or {}
+        for key, column in REQUEST_METRIC_COLUMNS.items():
+            if key in metrics:
+                p.extras[column] = metrics[key]
+
+
 BASE_COLUMNS = (
     "config",
     "workload",

@@ -192,6 +192,8 @@ class Collector:
         sub("omu_steer", self._on_omu("steer"))
         sub("noc_send", self._on_noc_send)
         sub("noc_deliver", self._on_noc_deliver)
+        sub("req_done", self._on_req_done)
+        sub("req_shed", self._on_req_shed)
 
     # ------------------------------------------------------------------
     # Span bookkeeping
@@ -355,6 +357,27 @@ class Collector:
             # plans (drops/dups) can desynchronize the match; leftovers
             # are discarded at finalize, never mis-closed backwards.
             self._close(queue.pop(0), e.t)
+
+    def _request_span(self, e, shape, outcome) -> None:
+        """Request lifetimes arrive as single terminal events carrying
+        their own start cycle (the scheduled arrival), so the span is
+        born already closed; its duration is the *sojourn* time."""
+        arrival = e.aux[0]
+        span = self._span(
+            f"request.{outcome}",
+            "traffic",
+            arrival,
+            tid=e.tid,
+            parent=self.root.sid if self.root is not None else None,
+            attrs={"rid": e.addr, "shape": shape},
+        )
+        self._close(span, e.t)
+
+    def _on_req_done(self, e) -> None:
+        self._request_span(e, shape=e.aux[1], outcome=e.aux[2])
+
+    def _on_req_shed(self, e) -> None:
+        self._request_span(e, shape=e.aux[1], outcome="shed")
 
     # ------------------------------------------------------------------
     # Finalize

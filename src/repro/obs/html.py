@@ -152,6 +152,11 @@ def render_run_report(result, obs=None, title: Optional[str] = None) -> str:
                 "attribution above remains exact.</p>"
             )
 
+    traffic = _traffic_run_html(result)
+    if traffic:
+        body.append("<h2>Request latency SLOs (open-loop traffic)</h2>")
+        body.append(traffic)
+
     body.append("<h2>NoC latency</h2>")
     body.append(_noc_latency_html(result, obs))
 
@@ -208,6 +213,161 @@ def _noc_latency_html(result, obs) -> str:
             left_cols=0,
         )
     return "<p class='note'>No NoC latency distribution in this result.</p>"
+
+
+def _traffic_run_html(result) -> str:
+    """SLO table for one open-loop traffic run; '' for other workloads."""
+    m = getattr(result, "workload_metrics", None) or {}
+    if "traffic.p99" not in m:
+        return ""
+    offered = int(m.get("traffic.offered", 0))
+    parts = [
+        _kpi("p50 sojourn", f"{m['traffic.p50']:,.0f} cy"),
+        _kpi("p99", f"{m['traffic.p99']:,.0f} cy"),
+        _kpi("p999", f"{m['traffic.p999']:,.0f} cy"),
+        _kpi("goodput", f"{m.get('traffic.goodput_rpk', 0):.2f} req/kcy"),
+    ]
+    rows = [
+        [
+            f"{offered:,}",
+            f"{m.get('traffic.offered_rpk', 0):.2f}",
+            f"{int(m.get('traffic.done', 0)):,}",
+            (
+                f"{int(m.get('traffic.shed', 0)):,}",
+                "bad" if m.get("traffic.shed") else "",
+            ),
+            (
+                f"{int(m.get('traffic.timeout', 0)):,}",
+                "bad" if m.get("traffic.timeout") else "",
+            ),
+            f"{m.get('traffic.mean', 0):,.0f}",
+        ]
+    ]
+    table = _table(
+        ("offered", "offered rate", "done", "shed", "timeout", "mean sojourn"),
+        rows,
+        left_cols=0,
+    )
+    note = (
+        "<p class='note'>Sojourn = completion minus scheduled arrival "
+        "(queueing included); rates in requests per kilocycle. "
+        "Shed = dropped at admission, timeout = queueing delay exceeded "
+        "the deadline (see docs/TRAFFIC.md).</p>"
+    )
+    return "<div>" + "".join(parts) + "</div>" + table + note
+
+
+#: Per-config line colors for the load-latency chart (cycled).
+_CURVE_COLORS = ("#3b4cca", "#cc3b3b", "#2e8b57", "#b8860b", "#8b3bcc", "#666")
+
+
+def _traffic_sweep_html(points) -> str:
+    """Load-vs-p99 section for sweeps containing traffic points."""
+    traffic_points = [
+        p
+        for p in points
+        if "traffic.p99" in (p.result.workload_metrics or {})
+    ]
+    if not traffic_points:
+        return ""
+    configs = sorted({p.config for p in traffic_points})
+    loads = sorted({p.scale for p in traffic_points})
+    by_key = {(p.config, p.scale): p for p in traffic_points}
+
+    def metric(p, key):
+        return (p.result.workload_metrics or {}).get(key)
+
+    rows = []
+    for load in loads:
+        row: List = [f"x{load:g}"]
+        for config in configs:
+            p = by_key.get((config, load))
+            if p is None:
+                row.append("-")
+                continue
+            p99 = metric(p, "traffic.p99") or 0
+            goodput = metric(p, "traffic.goodput_rpk") or 0
+            shed = int(metric(p, "traffic.shed") or 0)
+            timeout = int(metric(p, "traffic.timeout") or 0)
+            text = f"{p99:,.0f} cy / {goodput:.2f} rpk"
+            row.append((text, "bad") if (shed or timeout) else text)
+        rows.append(row)
+    table = _table(["offered load"] + configs, rows)
+
+    series = []
+    for i, config in enumerate(configs):
+        pts = [
+            (load, metric(by_key[(config, load)], "traffic.p99") or 0.0)
+            for load in loads
+            if (config, load) in by_key
+        ]
+        if pts:
+            series.append((config, _CURVE_COLORS[i % len(_CURVE_COLORS)], pts))
+    svg = _load_curve_svg(series)
+    note = (
+        "<p class='note'>Cells: p99 sojourn latency / goodput "
+        "(requests per kilocycle); red = the point shed or timed out "
+        "requests.  Offered load is the arrival-rate multiplier "
+        "(JobSpec scale).</p>"
+    )
+    return table + note + svg
+
+
+def _load_curve_svg(series) -> str:
+    """Inline SVG: one p99-vs-offered-load polyline per config."""
+    if not series:
+        return ""
+    width, height, pad = 560, 220, 40
+    xs = sorted({x for _, _, pts in series for x, _ in pts})
+    y_max = max(y for _, _, pts in series for _, y in pts) or 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    def sx(x):
+        return round(pad + (x - x_min) / x_span * (width - 2 * pad), 1)
+
+    def sy(y):
+        return round(height - pad - y / y_max * (height - 2 * pad), 1)
+
+    parts = [
+        f"<rect x='{pad}' y='{pad}' width='{width - 2 * pad}' "
+        f"height='{height - 2 * pad}' fill='none' stroke='#ccd'/>"
+    ]
+    for x in xs:
+        parts.append(
+            f"<text x='{sx(x)}' y='{height - pad + 14}' font-size='10' "
+            f"text-anchor='middle'>x{x:g}</text>"
+        )
+    for frac in (0.0, 0.5, 1.0):
+        y_val = frac * y_max
+        parts.append(
+            f"<text x='{pad - 6}' y='{sy(y_val) + 3}' font-size='10' "
+            f"text-anchor='end'>{y_val:,.0f}</text>"
+        )
+    legend_y = pad
+    for config, color, pts in series:
+        path = " ".join(f"{sx(x)},{sy(y)}" for x, y in sorted(pts))
+        parts.append(
+            f"<polyline points='{path}' fill='none' stroke='{color}' "
+            f"stroke-width='2'/>"
+        )
+        for x, y in pts:
+            parts.append(
+                f"<circle cx='{sx(x)}' cy='{sy(y)}' r='2.5' fill='{color}'/>"
+            )
+        parts.append(
+            f"<rect x='{width - pad + 6}' y='{legend_y}' width='10' "
+            f"height='10' fill='{color}'/>"
+            f"<text x='{width - pad + 20}' y='{legend_y + 9}' "
+            f"font-size='11'>{_esc(config)}</text>"
+        )
+        legend_y += 16
+    return (
+        f"<svg width='{width + 120}' height='{height + 6}'>"
+        + "".join(parts)
+        + f"</svg><p class='note'>p99 sojourn latency (cycles) vs offered "
+        f"load, one line per configuration.</p>"
+    )
 
 
 def _omu_timeline_svg(
@@ -316,6 +476,11 @@ def render_sweep_report(
             row.append((text, "best") if config == best_config else text)
         rows.append(row)
     body.append(_table(["workload @cores"] + configs, rows))
+
+    traffic = _traffic_sweep_html(points)
+    if traffic:
+        body.append("<h2>Tail latency under offered load (repro.traffic)</h2>")
+        body.append(traffic)
 
     body.append("<h2>MSA coverage</h2>")
     cov_configs = [

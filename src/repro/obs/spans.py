@@ -22,6 +22,10 @@ sync         barrier.wait       ``barrier_enter`` .. ``barrier_exit``
 sync         cond.wait          ``cond_wait_begin`` .. ``cond_wait_end``
 msa          msa.entry          ``msa_alloc`` .. ``msa_free``
 noc          noc.msg            ``noc_send`` .. ``noc_deliver``
+traffic      request.ok         scheduled arrival .. ``req_done``
+                                (sojourn: queueing + service)
+traffic      request.timeout    scheduled arrival .. deadline drop
+traffic      request.shed       scheduled arrival .. ``req_shed``
 ===========  =================  =======================================
 
 Spans serialize to plain dicts (:meth:`Span.to_dict` /

@@ -1,0 +1,42 @@
+"""repro.traffic: open-loop production-traffic workloads with SLOs.
+
+Closed-loop kernels measure *speedup*; this subsystem measures what a
+server operator measures: tail latency and goodput under an offered
+load the machine does not control.  Seeded arrival processes
+(:mod:`~repro.traffic.arrivals`) generate a deterministic request
+stream; each request walks a lock/condvar dependency graph admitted
+through a bounded work queue with load shedding
+(:mod:`~repro.traffic.model`); scenarios are ordinary registry
+workloads (:mod:`~repro.traffic.workload`) so the harness caches and
+parallelizes them; :func:`~repro.traffic.sweep.load_sweep` produces
+load-vs-p99 curves across sync backends.
+
+See ``docs/TRAFFIC.md`` for the full model and CLI examples.
+"""
+
+from repro.traffic.arrivals import ARRIVALS, make_arrivals
+from repro.traffic.model import Request, ServerState, TrafficRuntime
+from repro.traffic.sweep import DEFAULT_CONFIGS, DEFAULT_LOADS, load_sweep
+from repro.traffic.workload import (
+    SLO_QUANTILES,
+    TRAFFIC,
+    TrafficConfig,
+    build_schedule,
+    make_traffic,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "DEFAULT_CONFIGS",
+    "DEFAULT_LOADS",
+    "Request",
+    "SLO_QUANTILES",
+    "ServerState",
+    "TRAFFIC",
+    "TrafficConfig",
+    "TrafficRuntime",
+    "build_schedule",
+    "load_sweep",
+    "make_arrivals",
+    "make_traffic",
+]

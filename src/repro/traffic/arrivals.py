@@ -1,0 +1,219 @@
+"""Seeded open-loop arrival processes.
+
+Closed-loop kernels issue the next operation the moment the previous
+one retires, so the machine is never overloaded by construction.  An
+*open-loop* workload decouples demand from service: requests arrive by
+a stochastic process whose intensity the machine does not control, and
+queueing, shedding, and tail latency appear exactly when service
+capacity is exceeded.
+
+Every process here is a deterministic function of ``(rng, rate_rpk,
+knobs)``: the same :class:`~repro.sim.rng.DeterministicRng` stream
+produces the same arrival sequence forever, which is what lets traffic
+runs live in the content-addressed result cache and lets the golden
+test pin latency histograms byte-for-byte.
+
+Rates are expressed in **requests per kilocycle** (``rate_rpk``): a
+rate of 4.0 means one arrival every 250 simulated cycles on average.
+Gaps are integer cycles, at least 1 (two requests never share a cycle;
+bursts show up as runs of gap-1 arrivals instead).
+
+========== ==========================================================
+name       process
+========== ==========================================================
+poisson    homogeneous Poisson: i.i.d. exponential gaps
+bursty     two-state MMPP: quiet/burst phases with geometric dwell
+           times; the long-run rate still equals ``rate_rpk``
+diurnal    nonhomogeneous Poisson with a sinusoidal intensity
+           (peak/trough "day cycle"), sampled exactly by thinning
+pareto     renewal process with heavy-tailed Pareto gaps (alpha > 2
+           by default: finite variance, but far burstier than
+           exponential)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+from repro.common.errors import ConfigError
+from repro.sim.rng import DeterministicRng
+
+
+class ArrivalProcess:
+    """Base: an endless deterministic stream of integer cycle gaps."""
+
+    name = "abstract"
+
+    def __init__(self, rng: DeterministicRng, rate_rpk: float):
+        if rate_rpk <= 0:
+            raise ConfigError(f"rate_rpk must be > 0, got {rate_rpk}")
+        self.rng = rng
+        self.rate_rpk = rate_rpk
+        self.mean_gap = 1000.0 / rate_rpk
+
+    def _next_gap(self) -> float:
+        raise NotImplementedError
+
+    def gaps(self) -> Iterator[int]:
+        """Endless integer gaps (>= 1 cycle each)."""
+        while True:
+            yield max(1, int(round(self._next_gap())))
+
+    def sequence(self, horizon: int) -> List[int]:
+        """Absolute arrival cycles in ``[1, horizon]``.
+
+        Purely a function of the rng stream: calling this twice on two
+        identically-seeded processes yields identical lists.
+        """
+        times: List[int] = []
+        now = 0
+        for gap in self.gaps():
+            now += gap
+            if now > horizon:
+                break
+            times.append(now)
+        return times
+
+
+class Poisson(ArrivalProcess):
+    """Memoryless arrivals: i.i.d. exponential gaps."""
+
+    name = "poisson"
+
+    def _next_gap(self) -> float:
+        return self.rng.expovariate(self.mean_gap)
+
+
+class Mmpp(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    A quiet state at ``quiet_factor * rate`` alternates with a burst
+    state whose rate is chosen so the *long-run* average equals the
+    nominal ``rate_rpk`` exactly (dwell-time weighted), so load sweeps
+    across processes compare like for like.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        rate_rpk: float,
+        quiet_factor: float = 0.4,
+        quiet_dwell: int = 3000,
+        burst_dwell: int = 1000,
+    ):
+        super().__init__(rng, rate_rpk)
+        if not 0 < quiet_factor < 1:
+            raise ConfigError("quiet_factor must be in (0, 1)")
+        total = quiet_dwell + burst_dwell
+        self.quiet_rate = rate_rpk * quiet_factor
+        # Solve rate*(T_q+T_b) = quiet_rate*T_q + burst_rate*T_b.
+        self.burst_rate = (
+            rate_rpk * total - self.quiet_rate * quiet_dwell
+        ) / burst_dwell
+        self.quiet_dwell = quiet_dwell
+        self.burst_dwell = burst_dwell
+        self._bursting = False
+        self._dwell_left = float(quiet_dwell)
+
+    def _next_gap(self) -> float:
+        gap = 0.0
+        while True:
+            rate = self.burst_rate if self._bursting else self.quiet_rate
+            candidate = self.rng.expovariate(1000.0 / rate)
+            if candidate <= self._dwell_left:
+                self._dwell_left -= candidate
+                return gap + candidate
+            # Phase flips before the candidate arrival: consume the
+            # remaining dwell and redraw in the new phase (memoryless,
+            # so discarding the candidate is exact).
+            gap += self._dwell_left
+            self._bursting = not self._bursting
+            self._dwell_left = float(
+                self.burst_dwell if self._bursting else self.quiet_dwell
+            )
+
+
+class Diurnal(ArrivalProcess):
+    """Sinusoidal intensity ("day" cycle), sampled by Lewis thinning.
+
+    Candidates are drawn at the peak rate and accepted with probability
+    ``lambda(t) / lambda_max``, which is an *exact* nonhomogeneous
+    Poisson sampler: the long-run rate equals ``rate_rpk`` and the
+    instantaneous rate swings between ``rate*(1-amplitude)`` and
+    ``rate*(1+amplitude)``.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        rate_rpk: float,
+        period: int = 20_000,
+        amplitude: float = 0.6,
+    ):
+        super().__init__(rng, rate_rpk)
+        if not 0 < amplitude < 1:
+            raise ConfigError("amplitude must be in (0, 1)")
+        self.period = period
+        self.amplitude = amplitude
+        self._peak = rate_rpk * (1 + amplitude)
+        self._t = 0.0
+
+    def _rate_at(self, t: float) -> float:
+        phase = 2 * math.pi * (t / self.period)
+        return self.rate_rpk * (1 + self.amplitude * math.sin(phase))
+
+    def _next_gap(self) -> float:
+        start = self._t
+        while True:
+            self._t += self.rng.expovariate(1000.0 / self._peak)
+            if self.rng.random() <= self._rate_at(self._t) / self._peak:
+                return self._t - start
+
+
+class Pareto(ArrivalProcess):
+    """Heavy-tailed renewal gaps: Pareto(alpha) scaled to the target
+    mean, so the long-run rate is still ``rate_rpk`` while occasional
+    very long gaps separate dense request clusters."""
+
+    name = "pareto"
+
+    def __init__(
+        self, rng: DeterministicRng, rate_rpk: float, alpha: float = 2.5
+    ):
+        super().__init__(rng, rate_rpk)
+        if alpha <= 1:
+            raise ConfigError("alpha must be > 1 (finite-mean Pareto)")
+        self.alpha = alpha
+        self._xm = self.mean_gap * (alpha - 1) / alpha
+
+    def _next_gap(self) -> float:
+        u = self.rng.random()
+        # Inverse CDF; clamp u away from 1.0 to bound the tail draw.
+        return self._xm * (1.0 - min(u, 1.0 - 1e-12)) ** (-1.0 / self.alpha)
+
+
+#: name -> process class (the traffic scenario registry builds on this).
+ARRIVALS = {
+    "poisson": Poisson,
+    "bursty": Mmpp,
+    "diurnal": Diurnal,
+    "pareto": Pareto,
+}
+
+
+def make_arrivals(
+    name: str, rng: DeterministicRng, rate_rpk: float, **knobs
+) -> ArrivalProcess:
+    """Build a named arrival process on a deterministic rng stream."""
+    cls = ARRIVALS.get(name)
+    if cls is None:
+        raise ConfigError(
+            f"unknown arrival process {name!r}; options: {sorted(ARRIVALS)}"
+        )
+    return cls(rng, rate_rpk, **knobs)

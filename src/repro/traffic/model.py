@@ -1,0 +1,217 @@
+"""Request model and work-queue runtime for open-loop traffic.
+
+A *request* is a small synchronization walk over shared server state:
+striped locks guarding a table, a global statistics counter, and a
+condvar-guarded connection pool.  Three shapes cover the mix real
+request-serving code exhibits:
+
+=========== =========================================================
+shape       dependency walk
+=========== =========================================================
+read        lock one table stripe, read its line, unlock, compute
+            (read-mostly: short critical section, most time outside)
+write       lock a stripe, read-modify-write under it with compute
+            *inside* the critical section, unlock, bump the global
+            stats counter with an atomic fetch-add (write-heavy: the
+            hot-lock + hot-counter pattern)
+fanout      read several stripes in sequence, then acquire a slot
+            from a bounded condvar pool, compute while holding it,
+            release and signal (fan-out/join against a finite backend)
+=========== =========================================================
+
+Every stochastic choice a request will make (stripe indices, compute
+costs) is drawn *at schedule-build time* from the workload rng and
+frozen into the :class:`Request`, so the memory/sync trace is a pure
+function of seed + config no matter how the scheduler interleaves
+workers.
+
+The :class:`TrafficRuntime` is the work-queue layer: the dispatcher
+admits requests into a bounded queue (shedding when full), workers
+block on a not-empty condvar, and requests that waited past their
+deadline are counted as timeouts and dropped without service.  Queue
+count and pool slots live in *simulated* memory and are manipulated
+under simulated locks -- the runtime itself is sync traffic, which is
+exactly the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+from repro.workloads.base import WorkloadEnv
+
+#: Shape vocabulary, in the order mix weights are specified.
+SHAPES = ("read", "write", "fanout")
+
+#: Request outcomes (probe aux / stats keys).
+OK, TIMEOUT, SHED = "ok", "timeout", "shed"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One admitted unit of work, fully determined before the run."""
+
+    rid: int
+    arrival: int
+    """Scheduled arrival cycle (open-loop: fixed by the arrival
+    process, independent of how busy the machine is)."""
+
+    shape: str
+    stripes: Tuple[int, ...]
+    """Table-stripe indices this request touches, pre-drawn."""
+
+    compute: Tuple[int, ...]
+    """Per-stage compute costs in cycles, pre-drawn."""
+
+
+class TrafficStats:
+    """Python-side accounting (no simulated traffic).
+
+    Latencies are *sojourn* times: completion cycle minus scheduled
+    arrival cycle, so queueing delay under overload is included.
+    """
+
+    def __init__(self):
+        self.latencies: List[int] = []
+        self.done = 0
+        self.shed = 0
+        self.timeout = 0
+        self.by_shape = {s: 0 for s in SHAPES}
+
+    def finish(self, req: Request, now: int) -> None:
+        self.latencies.append(now - req.arrival)
+        self.done += 1
+        self.by_shape[req.shape] += 1
+
+
+class ServerState:
+    """Shared application state every request walks."""
+
+    def __init__(self, env: WorkloadEnv, n_stripes: int, pool_slots: int):
+        alloc = env.allocator
+        self.stripe_locks = [alloc.sync_var() for _ in range(n_stripes)]
+        self.stripe_data = [alloc.line() for _ in range(n_stripes)]
+        self.stats_addr = alloc.line()
+        self.pool_lock = alloc.sync_var()
+        self.pool_cv = alloc.sync_var()
+        self.pool_addr = alloc.line()
+        env.machine.memory.poke(self.pool_addr, pool_slots)
+        self.n_stripes = n_stripes
+
+
+def service(th, state: ServerState, req: Request) -> Generator:
+    """Execute one request's dependency walk on the calling worker."""
+    if req.shape == "read":
+        stripe = req.stripes[0]
+        yield from th.lock(state.stripe_locks[stripe])
+        yield from th.load(state.stripe_data[stripe])
+        yield from th.unlock(state.stripe_locks[stripe])
+        yield from th.compute(req.compute[0])
+    elif req.shape == "write":
+        stripe = req.stripes[0]
+        yield from th.lock(state.stripe_locks[stripe])
+        value = yield from th.load(state.stripe_data[stripe])
+        yield from th.compute(req.compute[0])
+        yield from th.store(state.stripe_data[stripe], value + 1)
+        yield from th.unlock(state.stripe_locks[stripe])
+        yield from th.fetch_add(state.stats_addr, 1)
+    else:  # fanout
+        for stage, stripe in enumerate(req.stripes):
+            yield from th.lock(state.stripe_locks[stripe])
+            yield from th.load(state.stripe_data[stripe])
+            yield from th.unlock(state.stripe_locks[stripe])
+            yield from th.compute(req.compute[stage])
+        # Bounded backend pool: classic condvar resource acquisition.
+        yield from th.lock(state.pool_lock)
+        while True:
+            slots = yield from th.load(state.pool_addr)
+            if slots > 0:
+                break
+            yield from th.cond_wait(state.pool_cv, state.pool_lock)
+        yield from th.store(state.pool_addr, slots - 1)
+        yield from th.unlock(state.pool_lock)
+
+        yield from th.compute(req.compute[-1])
+
+        yield from th.lock(state.pool_lock)
+        slots = yield from th.load(state.pool_addr)
+        yield from th.store(state.pool_addr, slots + 1)
+        yield from th.cond_signal(state.pool_cv)
+        yield from th.unlock(state.pool_lock)
+    return None
+
+
+class TrafficRuntime:
+    """Bounded admission queue between the dispatcher and workers.
+
+    The queue *count* (and closed flag) live in simulated memory under
+    a simulated lock; the request objects ride alongside in a
+    Python-side list (same discipline as the kernels'
+    ``SharedCounterQueue``: synchronization is simulated, payloads are
+    bookkeeping).
+    """
+
+    def __init__(self, env: WorkloadEnv, capacity: int):
+        alloc = env.allocator
+        self.capacity = capacity
+        self.lock = alloc.sync_var()
+        self.not_empty = alloc.sync_var()
+        self.count_addr = alloc.line()
+        self.closed_addr = alloc.line()
+        self.pending: List[Request] = []
+
+    def should_shed(self, req: Request, now: int, shed_lag: int) -> bool:
+        """Load-balancer admission check, *before* touching the lock.
+
+        Under overload the dispatcher itself contends for the queue
+        lock and falls behind real time, so the excess demand piles up
+        as *admission lag* -- requests whose scheduled arrival is far
+        in the past by the time the dispatcher reaches them.  A real
+        load balancer drops such stale requests from its accept queue
+        without a round trip into the fleet; same here: a shed is
+        decided from the dispatcher's own clock and costs no simulated
+        sync traffic, which is what lets it catch back up.
+        """
+        return now - req.arrival > shed_lag
+
+    def offer(self, th, req: Request) -> Generator:
+        """Dispatcher side: admit or shed.  Returns True if admitted.
+
+        Open-loop semantics: the dispatcher never blocks on a full
+        queue -- the locked capacity check is the hard backstop behind
+        :meth:`should_shed`.
+        """
+        yield from th.lock(self.lock)
+        n = yield from th.load(self.count_addr)
+        admitted = n < self.capacity
+        if admitted:
+            self.pending.append(req)
+            yield from th.store(self.count_addr, n + 1)
+            yield from th.cond_signal(self.not_empty)
+        yield from th.unlock(self.lock)
+        return admitted
+
+    def take(self, th) -> Generator:
+        """Worker side: block for a request; None on closed + drained."""
+        yield from th.lock(self.lock)
+        while True:
+            n = yield from th.load(self.count_addr)
+            if n > 0:
+                break
+            closed = yield from th.load(self.closed_addr)
+            if closed:
+                yield from th.unlock(self.lock)
+                return None
+            yield from th.cond_wait(self.not_empty, self.lock)
+        req = self.pending.pop(0)
+        yield from th.store(self.count_addr, n - 1)
+        yield from th.unlock(self.lock)
+        return req
+
+    def close(self, th) -> Generator:
+        yield from th.lock(self.lock)
+        yield from th.store(self.closed_addr, 1)
+        yield from th.cond_broadcast(self.not_empty)
+        yield from th.unlock(self.lock)
+        return None

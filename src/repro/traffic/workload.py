@@ -1,0 +1,305 @@
+"""The traffic scenario as an ordinary :class:`Workload`.
+
+Thread 0 is the **dispatcher**: it replays the precomputed open-loop
+arrival schedule in simulated time (idling through inter-arrival gaps
+with ``compute``) and offers each request to the bounded admission
+queue, shedding when the fleet is saturated.  Threads 1..N-1 are
+**workers**: they block on the queue's condvar, drop requests whose
+queueing delay already blew the deadline, and run the request's
+dependency walk (:func:`repro.traffic.model.service`).
+
+Because every scenario is a plain ``Workload`` produced by a registry
+factory with the standard ``(n_cores, scale=...)`` signature, traffic
+runs flow through the whole harness unchanged: content-hashed
+``JobSpec``s, the result cache, parallel sweeps, ``repro serve``.
+``scale`` is reinterpreted as the **offered-load multiplier** -- a load
+sweep is just a sweep over ``scale`` values.
+
+SLO metrics land in ``RunResult.workload_metrics`` under ``traffic.*``
+(the obs registry re-exports them as ``workload.traffic.*`` gauges),
+and ``traffic.latency_fp`` is a 48-bit digest of the completion-ordered
+latency stream -- one float that pins the entire latency histogram
+byte-for-byte in the golden determinism test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.stats import Histogram
+from repro.traffic.arrivals import make_arrivals
+from repro.traffic.model import (
+    OK,
+    SHAPES,
+    TIMEOUT,
+    Request,
+    ServerState,
+    TrafficRuntime,
+    TrafficStats,
+    service,
+)
+from repro.workloads.base import Workload, WorkloadEnv
+
+#: SLO quantiles reported for sojourn latency.
+SLO_QUANTILES = (0.5, 0.99, 0.999)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Everything that shapes a traffic scenario (pre-machine)."""
+
+    arrival: str = "poisson"
+    rate_rpk: float = 4.0
+    """Offered load at scale 1.0, in requests per kilocycle."""
+
+    horizon: int = 60_000
+    """Arrival window in cycles; the run drains the queue after it."""
+
+    queue_depth: int = 4
+    """Admission-queue capacity per worker."""
+
+    deadline: int = 6_000
+    """Max queueing delay in cycles before a request is dropped as a
+    timeout at dequeue (it consumed queue space but no service)."""
+
+    shed_lag: int = 3_000
+    """Max admission staleness: the dispatcher sheds a request outright
+    (no sync traffic) once it is running this far behind the request's
+    scheduled arrival -- the load balancer's accept-queue timeout."""
+
+    mix: Tuple[float, float, float] = (0.6, 0.3, 0.1)
+    """Shape weights in :data:`~repro.traffic.model.SHAPES` order
+    (read, write, fanout)."""
+
+    n_stripes: int = 8
+    pool_slots: int = 3
+    fanout_width: int = 3
+    arrival_knobs: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.mix) != len(SHAPES):
+            raise ConfigError(
+                f"mix needs {len(SHAPES)} weights (one per shape), "
+                f"got {len(self.mix)}"
+            )
+        if min(self.mix) < 0 or sum(self.mix) <= 0:
+            raise ConfigError("mix weights must be >= 0 and sum > 0")
+
+
+def build_schedule(
+    cfg: TrafficConfig, rng, scale: float = 1.0
+) -> List[Request]:
+    """Freeze the full request schedule from the rng.
+
+    Arrival times come from one derived stream and per-request draws
+    from another, so the arrival *sequence* for a given process/rate is
+    independent of shape-mix knobs (and directly property-testable).
+    """
+    process = make_arrivals(
+        cfg.arrival,
+        rng.derive("arrivals"),
+        cfg.rate_rpk * scale,
+        **cfg.arrival_knobs,
+    )
+    detail = rng.derive("requests")
+    total = sum(cfg.mix)
+    bounds = []
+    acc = 0.0
+    for w in cfg.mix:
+        acc += w / total
+        bounds.append(acc)
+
+    schedule: List[Request] = []
+    for rid, t in enumerate(process.sequence(cfg.horizon)):
+        u = detail.random()
+        shape = SHAPES[-1]
+        for i, b in enumerate(bounds):
+            if u <= b:
+                shape = SHAPES[i]
+                break
+        if shape == "read":
+            stripes = (detail.randint(0, cfg.n_stripes - 1),)
+            compute = (detail.randint(100, 300),)
+        elif shape == "write":
+            stripes = (detail.randint(0, cfg.n_stripes - 1),)
+            compute = (detail.randint(60, 180),)
+        else:  # fanout: several stripe reads, then a pooled stage
+            stripes = tuple(
+                detail.randint(0, cfg.n_stripes - 1)
+                for _ in range(cfg.fanout_width)
+            )
+            compute = tuple(
+                detail.randint(40, 120) for _ in range(cfg.fanout_width)
+            ) + (detail.randint(200, 500),)
+        schedule.append(Request(rid, t, shape, stripes, compute))
+    return schedule
+
+
+def _latency_fingerprint(pairs: List[Tuple[int, int]]) -> float:
+    """48-bit digest of the completion-ordered (rid, latency) stream.
+
+    2**48 < 2**53, so the digest survives the float round-trip through
+    ``workload_metrics`` / JSON exactly.
+    """
+    blob = repr(pairs).encode()
+    return float(int.from_bytes(hashlib.sha256(blob).digest()[:6], "big"))
+
+
+def make_traffic(
+    n_cores: int, scale: float = 1.0, cfg: TrafficConfig = None
+) -> Workload:
+    """Build a traffic scenario workload (dispatcher + worker fleet)."""
+    if cfg is None:
+        cfg = TrafficConfig()
+    if n_cores < 2:
+        raise ConfigError("traffic needs >= 2 cores (dispatcher + worker)")
+    n_threads = n_cores
+    n_workers = n_threads - 1
+
+    def setup(env: WorkloadEnv) -> None:
+        state = ServerState(env, cfg.n_stripes, cfg.pool_slots)
+        runtime = TrafficRuntime(env, capacity=n_workers * cfg.queue_depth)
+        env.shared["state"] = state
+        env.shared["runtime"] = runtime
+        env.shared["schedule"] = build_schedule(
+            cfg, env.rng.derive(f"traffic.{cfg.arrival}"), scale
+        )
+        env.shared["stats"] = TrafficStats()
+        env.shared["start_barrier"] = env.allocator.sync_var()
+        env.shared["completions"] = []
+
+    def dispatcher(env: WorkloadEnv):
+        runtime: TrafficRuntime = env.shared["runtime"]
+        schedule: List[Request] = env.shared["schedule"]
+        stats: TrafficStats = env.shared["stats"]
+        barrier = env.shared["start_barrier"]
+
+        def body(th):
+            probe = getattr(th.machine, "probe", None)
+            yield from th.barrier(barrier, n_threads)
+            for req in schedule:
+                gap = req.arrival - th.sim.now
+                if gap > 0:
+                    yield from th.compute(gap)
+                # Open loop: if admission overhead pushed us past the
+                # next arrival, the request is simply offered late --
+                # its sojourn clock started at req.arrival regardless.
+                if runtime.should_shed(req, th.sim.now, cfg.shed_lag):
+                    admitted = False
+                else:
+                    admitted = yield from runtime.offer(th, req)
+                if not admitted:
+                    stats.shed += 1
+                    if probe is not None:
+                        probe.emit(
+                            "req_shed",
+                            tid=th.tid,
+                            addr=req.rid,
+                            aux=(req.arrival, req.shape),
+                        )
+            yield from runtime.close(th)
+
+        return body
+
+    def worker(env: WorkloadEnv):
+        runtime: TrafficRuntime = env.shared["runtime"]
+        state: ServerState = env.shared["state"]
+        stats: TrafficStats = env.shared["stats"]
+        barrier = env.shared["start_barrier"]
+        completions = env.shared["completions"]
+
+        def body(th):
+            probe = getattr(th.machine, "probe", None)
+            yield from th.barrier(barrier, n_threads)
+            while True:
+                req = yield from runtime.take(th)
+                if req is None:
+                    return
+                if th.sim.now - req.arrival > cfg.deadline:
+                    stats.timeout += 1
+                    outcome = TIMEOUT
+                else:
+                    yield from service(th, state, req)
+                    now = th.sim.now
+                    stats.finish(req, now)
+                    completions.append((req.rid, now - req.arrival))
+                    outcome = OK
+                if probe is not None:
+                    probe.emit(
+                        "req_done",
+                        tid=th.tid,
+                        addr=req.rid,
+                        aux=(req.arrival, req.shape, outcome),
+                    )
+
+        return body
+
+    def make_threads(env: WorkloadEnv):
+        return [dispatcher(env)] + [worker(env) for _ in range(n_workers)]
+
+    def validate(env: WorkloadEnv) -> None:
+        stats: TrafficStats = env.shared["stats"]
+        schedule: List[Request] = env.shared["schedule"]
+        offered = len(schedule)
+        env.expect(
+            stats.done + stats.shed + stats.timeout == offered,
+            f"request conservation: {stats.done} done + {stats.shed} shed "
+            f"+ {stats.timeout} timeout != {offered} offered",
+        )
+        hist = Histogram("traffic.sojourn")
+        for latency in stats.latencies:
+            hist.add(float(latency))
+        p50, p99, p999 = hist.quantiles(SLO_QUANTILES)
+        now = max(1, env.machine.sim.now)
+        env.record("traffic.offered", float(offered))
+        env.record("traffic.done", float(stats.done))
+        env.record("traffic.shed", float(stats.shed))
+        env.record("traffic.timeout", float(stats.timeout))
+        env.record("traffic.p50", p50)
+        env.record("traffic.p99", p99)
+        env.record("traffic.p999", p999)
+        env.record("traffic.mean", hist.mean)
+        env.record("traffic.offered_rpk", offered * 1000.0 / cfg.horizon)
+        env.record("traffic.goodput_rpk", stats.done * 1000.0 / now)
+        for shape in SHAPES:
+            env.record(f"traffic.done.{shape}", float(stats.by_shape[shape]))
+        env.record(
+            "traffic.latency_fp",
+            _latency_fingerprint(env.shared["completions"]),
+        )
+
+    return Workload(
+        name=f"traffic.{cfg.arrival}",
+        n_threads=n_threads,
+        make_threads=make_threads,
+        setup_fn=setup,
+        validate_fn=validate,
+        tags=("traffic", "open-loop", cfg.arrival),
+    )
+
+
+def _scenario(arrival: str, **knobs):
+    def make(n_cores: int, scale: float = 1.0) -> Workload:
+        return make_traffic(
+            n_cores, scale, cfg=TrafficConfig(arrival=arrival, **knobs)
+        )
+
+    make.__name__ = f"make_traffic_{arrival}"
+    make.__doc__ = (
+        f"Open-loop traffic with {arrival} arrivals; ``scale`` multiplies "
+        f"the offered load."
+    )
+    return make
+
+
+#: Scenario registry: one entry per arrival process, resolvable by
+#: :func:`repro.harness.jobs.resolve_factory` like any kernel.
+TRAFFIC = {
+    "traffic.poisson": _scenario("poisson"),
+    "traffic.bursty": _scenario("bursty"),
+    "traffic.diurnal": _scenario("diurnal"),
+    "traffic.pareto": _scenario("pareto"),
+}

@@ -34,11 +34,16 @@ noc_send           Network accepted a message for injection
                    only when a subscriber opted in (``noc_active``)
 noc_deliver        Network dispatched a message to its handler
                    (tid = src tile, tile = dst, aux = (kind, rel_seq))
+req_done           Traffic worker finished a request (addr = request
+                   id, aux = (arrival cycle, shape, outcome) where
+                   outcome is ``ok``/``timeout``)
+req_shed           Traffic dispatcher shed a request at admission
+                   (addr = request id, aux = (arrival cycle, shape))
 =================  ====================================================
 
-High-rate kinds (``mem_*``, ``noc_send``, ``noc_deliver``) are
-dispatched to subscribers but excluded from the sliding context window
-that violation reports quote, so the window stays a readable
+High-rate kinds (``mem_*``, ``noc_send``, ``noc_deliver``, ``req_*``)
+are dispatched to subscribers but excluded from the sliding context
+window that violation reports quote, so the window stays a readable
 synchronization history.
 """
 
@@ -49,7 +54,15 @@ from typing import Callable, Dict, List, Optional
 
 #: Kinds kept out of the violation-context window (too chatty).
 HIGH_RATE_KINDS = frozenset(
-    {"mem_read", "mem_write", "mem_atomic", "noc_send", "noc_deliver"}
+    {
+        "mem_read",
+        "mem_write",
+        "mem_atomic",
+        "noc_send",
+        "noc_deliver",
+        "req_done",
+        "req_shed",
+    }
 )
 
 #: Kinds whose subscription turns on memory-access probing in ThreadCtx.
