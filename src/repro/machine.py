@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.common import config as repro_config
 from repro.common.errors import ConfigError
 from repro.common.params import MachineParams
 from repro.common.stats import merge_counters
@@ -26,18 +27,44 @@ from repro.runtime.swsync.registry import SwStateRegistry
 from repro.runtime.syncapi import make_library
 from repro.sim.kernel import Simulator
 from repro.sim.rng import DeterministicRng
+from repro.sim.shard import ShardedSimulator, TileGroups, conservative_lookahead
+
+
+def resolve_sim_mode(n_cores: int, override: Optional[str] = None) -> str:
+    """Resolve the ``REPRO_SIM_SHARDING`` knob to a concrete kernel.
+
+    ``auto`` picks the sharded calendar at 16+ cores: below that the
+    same-cycle batch density (events per distinct timestamp) is too low
+    for the calendar's bookkeeping to beat the legacy heap's small-n
+    constant factor.  See docs/PERF.md ("When legacy mode is faster").
+    """
+    mode = repro_config.sim_sharding(override)
+    if mode == "auto":
+        return "sharded" if n_cores >= 16 else "legacy"
+    return mode
 
 
 class Machine:
     """A fully wired simulated tiled many-core."""
 
     def __init__(
-        self, params: MachineParams, library: str = "hybrid", fault_plan=None
+        self,
+        params: MachineParams,
+        library: str = "hybrid",
+        fault_plan=None,
+        sim_mode: Optional[str] = None,
     ):
         params.validate()
         self.params = params
         self.library_name = library
-        self.sim = Simulator()
+        self.sim_mode = resolve_sim_mode(params.n_cores, sim_mode)
+        if self.sim_mode == "sharded":
+            groups = TileGroups.for_mesh(params.n_cores)
+            self.sim = ShardedSimulator(
+                groups, conservative_lookahead(params.noc, groups.n_groups)
+            )
+        else:
+            self.sim = Simulator()
         from repro.sim.trace import Tracer
 
         self.tracer = Tracer(self.sim)
@@ -172,6 +199,21 @@ class Machine:
         if until is None:
             self.scheduler.check_for_deadlock()
         return cycles
+
+    def sharding_info(self) -> Dict[str, object]:
+        """Scheduler-mode metadata + cross-group validation counters,
+        stamped into ``repro.perf`` BENCH documents and surfaced by the
+        watchdog's triage dump.  ``lookahead_violations`` must be 0 on
+        every run: a nonzero count means a cross-group message beat the
+        conservative horizon and the partition's independence claim is
+        wrong (``tests/test_sharding.py`` asserts this)."""
+        if isinstance(self.sim, ShardedSimulator):
+            info = self.sim.sharding_info()
+        else:
+            info = {"mode": "legacy", "n_groups": 1, "lookahead": 0}
+        info["cross_group_delivered"] = self.network.cross_group_delivered
+        info["lookahead_violations"] = self.network.lookahead_violations
+        return info
 
     def check_invariants(self) -> None:
         self.memory.check_invariants()

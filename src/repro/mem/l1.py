@@ -150,7 +150,13 @@ class L1Cache:
 
     def _start(self, op: _Op) -> None:
         line = op.addr >> self._line_shift
-        bucket = self._set_of(line)
+        # _set_of inlined: this and _complete_if_valid bracket every
+        # access, so the helper call was two frames per operation.
+        sets = self._sets
+        index = line & self._set_mask
+        bucket = sets.get(index)
+        if bucket is None:
+            bucket = sets[index] = OrderedDict()
         state = bucket.get(line, _INVALID)
         if (
             state is not _INVALID
@@ -170,7 +176,11 @@ class L1Cache:
         """Permission may have been revoked during the hit latency
         (a racing invalidation); re-check and retry if so."""
         op, line = op_line
-        bucket = self._set_of(line)
+        sets = self._sets
+        index = line & self._set_mask
+        bucket = sets.get(index)
+        if bucket is None:
+            bucket = sets[index] = OrderedDict()
         state = bucket.get(line, _INVALID)
         kind = op.kind
         if (

@@ -79,6 +79,15 @@ class SyncUnit:
         """Per-op ``issued.*`` counter handles, registered on first
         issue so the counter set matches the pre-binding unit."""
 
+        # Silent-hit counter handles, same lazy-registration discipline
+        # (these fire on the HWSync fast paths -- the *common* case on
+        # lock-heavy workloads -- where a per-hit registry lookup plus
+        # f-string was measurable).
+        self._silent_lock_hits = None
+        self._silent_unlock_hits = None
+        self._fence_latency = core_params.sync_fence_latency
+        self._requester_base = core_id * core_params.hw_threads
+
         self._pending: Dict[int, Future] = {}
         self._squashed_reqs: set = set()
         self._detached_reqs: set = set()
@@ -175,8 +184,8 @@ class SyncUnit:
                 f"issued.{op.value}"
             )
         issued.value += 1
-        fence = self.core_params.sync_fence_latency
-        requester = self.core_id * self.core_params.hw_threads + slot
+        fence = self._fence_latency
+        requester = self._requester_base + slot
 
         if self.mode == MODE_IDEAL:
             # Zero-latency oracle synchronization, no fence cost either.
@@ -239,7 +248,12 @@ class SyncUnit:
                 # The unlock retires here, so this core is no longer the
                 # grant holder for recovery purposes.
                 self._hw_owned.pop(addr, None)
-                self.stats.counter("silent_unlock_hits").inc()
+                hits = self._silent_unlock_hits
+                if hits is None:
+                    hits = self._silent_unlock_hits = self.stats.counter(
+                        "silent_unlock_hits"
+                    )
+                hits.value += 1
                 req_id = next(_req_ids)
                 self._detached_reqs.add(req_id)
                 if self._plane is not None:
@@ -269,7 +283,12 @@ class SyncUnit:
             # HWSync fast path: atomically consume the idle-armed bit
             # (an SMT sibling issuing in the same window must miss it),
             # complete immediately, and notify the home.
-            self.stats.counter("silent_lock_hits").inc()
+            hits = self._silent_lock_hits
+            if hits is None:
+                hits = self._silent_lock_hits = self.stats.counter(
+                    "silent_lock_hits"
+                )
+            hits.value += 1
             self._silent_cancelled[addr] = False
             self._held[addr] = slot
             if self._plane is not None:

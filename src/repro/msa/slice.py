@@ -96,6 +96,16 @@ class MSASlice:
         finished request replays the cached response instead of
         re-executing (exactly-once semantics at the protocol level)."""
 
+        # Hot-path handles, bound lazily on first increment so a slice
+        # that never performs the operation registers no counter (the
+        # golden counter dictionaries depend on that).
+        self._ops_hw = None
+        self._ops_sw = None
+        self._ops_aborted = None
+        self._lock_grants = None
+        self._req_counts: dict = {}
+        self._access_latency = params.msa_access_latency
+
         network.register(tile, "msa", self._on_message)
 
     def arm_faults(self, injector, plane, fault_params) -> None:
@@ -129,32 +139,35 @@ class MSASlice:
     ) -> None:
         self._trace("respond", result.value, f"core={core}", f"addr={addr:#x}")
         if result is SyncResult.SUCCESS:
-            self.stats.counter("ops_hw").inc()
+            ops = self._ops_hw
+            if ops is None:
+                ops = self._ops_hw = self.stats.counter("ops_hw")
         elif result is SyncResult.FAIL:
-            self.stats.counter("ops_sw").inc()
+            ops = self._ops_sw
+            if ops is None:
+                ops = self._ops_sw = self.stats.counter("ops_sw")
         else:
-            self.stats.counter("ops_aborted").inc()
+            ops = self._ops_aborted
+            if ops is None:
+                ops = self._ops_aborted = self.stats.counter("ops_aborted")
+        ops.value += 1
         if self._injector is not None:
             self._inflight.discard(req_id)
             self._resp_cache[req_id] = (core, result, addr, grant_hwsync, rearm)
             while len(self._resp_cache) > self._fault_params.response_cache_size:
                 self._resp_cache.popitem(last=False)
         self.sim.schedule(
-            self.params.msa_access_latency,
-            lambda: self._send_response(
-                core, req_id, result, addr, grant_hwsync, rearm
-            ),
+            self._access_latency,
+            self._send_response,
+            (core, req_id, result, addr, grant_hwsync, rearm),
         )
 
-    def _send_response(
-        self,
-        core: CoreId,
-        req_id: int,
-        result: SyncResult,
-        addr: Address,
-        grant_hwsync: bool,
-        rearm: bool,
-    ) -> None:
+    def _send_response(self, args: tuple) -> None:
+        """Emit the ``msa_cpu.resp`` for a completed request.  ``args``
+        is the ``(core, req_id, result, addr, grant_hwsync, rearm)``
+        tuple :meth:`_respond` scheduled (tuple arg, not a closure: one
+        of these fires per accelerator operation)."""
+        core, req_id, result, addr, grant_hwsync, rearm = args
         self.network.send(
             Message(
                 src=self.tile,
@@ -185,7 +198,7 @@ class MSASlice:
             self._trace("resp_replayed", f"req={req_id}")
             self.sim.schedule(
                 self.params.msa_access_latency,
-                lambda: self._send_response(*self._expand_cached(req_id)),
+                lambda: self._send_response(self._expand_cached(req_id)),
             )
             return False
         if req_id in self._inflight:
@@ -474,7 +487,11 @@ class MSASlice:
     def _handle_request(
         self, op: SyncOp, addr: Address, aux: int, core: CoreId, req_id: int
     ) -> None:
-        self.stats.counter(f"req.{op.value}").inc()
+        counts = self._req_counts
+        count = counts.get(op)
+        if count is None:
+            count = counts[op] = self.stats.counter(f"req.{op.value}")
+        count.value += 1
         if op is SyncOp.LOCK:
             self._handle_lock(addr, core, req_id)
         elif op is SyncOp.TRYLOCK:
@@ -586,7 +603,10 @@ class MSASlice:
             elif entry.last_owner is not None:
                 entry.reuse_mode = False
             entry.last_owner = granted_core
-        self.stats.counter("lock_grants").inc()
+        grants = self._lock_grants
+        if grants is None:
+            grants = self._lock_grants = self.stats.counter("lock_grants")
+        grants.value += 1
         self._respond(
             core, req_id, SyncResult.SUCCESS, entry.addr, grant_hwsync=grant_hwsync
         )

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import itertools
 import sys
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.common.types import TileId
@@ -28,32 +27,55 @@ _msg_ids = itertools.count()
 _prefix_of: Dict[str, str] = {}
 
 
-@dataclass
 class Message:
-    """A point-to-point NoC message."""
+    """A point-to-point NoC message.
 
-    src: TileId
-    dst: TileId
-    kind: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    injected_at: int = -1
-    """Cycle the message entered the network (set by the Network)."""
+    A slotted hand-written class rather than a dataclass: one instance
+    is allocated per protocol message (hundreds of thousands per run),
+    and ``__slots__`` drops the per-instance dict while the explicit
+    ``__init__`` skips dataclass ``__post_init__`` dispatch.  Identity
+    semantics (no value ``__eq__``) are intentional -- two distinct
+    messages are never "the same message", and nothing ever compared
+    them by value.
+    """
 
-    rel_seq: Optional[int] = None
-    """Reliable-transport channel sequence number; ``None`` for traffic
-    outside the transport (coherence, acks, fault-free machines)."""
+    __slots__ = (
+        "src",
+        "dst",
+        "kind",
+        "payload",
+        "injected_at",
+        "rel_seq",
+        "msg_id",
+        "prefix",
+    )
 
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
-
-    prefix: str = field(init=False, repr=False, default="")
-    """Interned routing prefix: ``kind`` up to the first dot."""
-
-    def __post_init__(self):
-        kind = self.kind
-        prefix = _prefix_of.get(kind)
-        if prefix is None:
-            prefix = _prefix_of[kind] = sys.intern(kind.partition(".")[0])
-        self.prefix = prefix
+    def __init__(
+        self,
+        src: TileId,
+        dst: TileId,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        injected_at: int = -1,
+        rel_seq: Optional[int] = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        #: Protocol-specific fields.
+        self.payload = {} if payload is None else payload
+        #: Cycle the message entered the network (set by the Network).
+        self.injected_at = injected_at
+        #: Reliable-transport channel sequence number; ``None`` for
+        #: traffic outside the transport (coherence, acks, fault-free
+        #: machines).
+        self.rel_seq = rel_seq
+        self.msg_id = next(_msg_ids)
+        kp = _prefix_of.get(kind)
+        if kp is None:
+            kp = _prefix_of[kind] = sys.intern(kind.partition(".")[0])
+        #: Interned routing prefix: ``kind`` up to the first dot.
+        self.prefix = kp
 
     def __repr__(self) -> str:
         return (

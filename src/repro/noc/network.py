@@ -13,7 +13,7 @@ allocation), and routes are memoized per (src, dst) pair.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.params import NocParams
@@ -39,25 +39,81 @@ class Network:
         self._tile_handlers: List[Dict[str, Handler]] = [
             {} for _ in range(self.topology.n_tiles)
         ]
-        self._route_cache: Dict[Tuple[TileId, TileId], Tuple] = {}
+        # Route memo as nested lists (src row -> dst slot) rather than a
+        # (src, dst)-keyed dict: two C-level list indexes per message,
+        # no key-tuple allocation, no hashing.  Rows are lazy so large
+        # meshes only pay for pairs that actually communicate.
+        self._route_rows: List[Optional[List]] = [
+            None for _ in range(self.topology.n_tiles)
+        ]
         self._messages_sent = self.stats.counter("messages_sent")
         self._messages_delivered = self.stats.counter("messages_delivered")
         self._latency = self.stats.histogram("latency")
         self._sent_by_prefix: Dict[str, Counter] = {}
-        self.injector = None
-        """Optional :class:`repro.faults.FaultInjector` consulted at
-        injection (extra delay) and final-hop delivery (drop/duplicate).
-        ``None`` on fault-free machines: the hot path then matches the
-        original network bit-for-bit."""
 
-        self.transport = None
-        """Optional :class:`repro.faults.ReliableTransport` carrying
-        ``msa.*``/``msa_cpu.*`` traffic exactly-once and in order."""
+        # Horizon-sharding validation (see repro.sim.shard): when the
+        # kernel carries tile groups, every delivery is classified and
+        # cross-group arrivals are checked against the conservative
+        # lookahead.  Plain ints, not StatSet counters, so the golden
+        # counter dictionaries stay identical across kernel modes.
+        groups = getattr(sim, "groups", None)
+        self._group_of = groups.group_of if groups is not None else None
+        self._lookahead = getattr(sim, "lookahead", 0)
+        self.cross_group_delivered = 0
+        self.lookahead_violations = 0
+        self._injector = None
+        self._transport = None
+        # The callback handed to the fabric as the final-hop target.
+        # Fault-free machines skip the _deliver/_arrive funnel entirely
+        # and land straight in _dispatch; arming an injector or a
+        # transport (property setters below) rebinds it.  ``send`` is
+        # rebound the same way: without a transport it *is* ``inject``
+        # (instance attribute, so senders skip the coverage-check frame
+        # per message).
+        self._delivery = self._dispatch
+        self.send = self.inject
 
         self.probe = None
         """Optional checker event bus (:mod:`repro.verify`): every
         dispatched message is reported so the NoC-conservation monitor
         can check per-channel delivery order online."""
+
+    @property
+    def injector(self):
+        """Optional :class:`repro.faults.FaultInjector` consulted at
+        injection (extra delay) and final-hop delivery (drop/duplicate).
+        ``None`` on fault-free machines: the hot path then matches the
+        original network bit-for-bit."""
+        return self._injector
+
+    @injector.setter
+    def injector(self, value) -> None:
+        self._injector = value
+        self._rebind_delivery()
+
+    @property
+    def transport(self):
+        """Optional :class:`repro.faults.ReliableTransport` carrying
+        ``msa.*``/``msa_cpu.*`` traffic exactly-once and in order."""
+        return self._transport
+
+    @transport.setter
+    def transport(self, value) -> None:
+        self._transport = value
+        self._rebind_delivery()
+
+    def _rebind_delivery(self) -> None:
+        """Bind the tightest final-hop target the armed fault machinery
+        allows: injector set -> the full verdict funnel; transport only
+        -> sequencing without verdicts; neither -> straight dispatch.
+        Each elided stage is one call frame per delivered message."""
+        if self._injector is not None:
+            self._delivery = self._deliver
+        elif self._transport is not None:
+            self._delivery = self._arrive
+        else:
+            self._delivery = self._dispatch
+        self.send = self.inject if self._transport is None else self._send_covered
 
     def register(self, tile: TileId, prefix: str, handler: Handler) -> None:
         """Register the receiver for messages whose kind starts with
@@ -69,13 +125,15 @@ class Network:
             )
         handlers[prefix] = handler
 
-    def send(self, message: Message) -> None:
-        """Inject a message; it will be delivered to the destination
-        tile's handler after routing latency + contention.  Accelerator
-        traffic detours through the reliable transport when a fault
-        plan armed one."""
-        transport = self.transport
-        if transport is not None and message.prefix in transport.covered:
+    def _send_covered(self, message: Message) -> None:
+        """``send`` with a reliable transport armed: accelerator traffic
+        detours through it for exactly-once, in-order delivery.  On
+        fault-free machines ``send`` is bound directly to ``inject``
+        (see ``_rebind_delivery``); either way, a message is delivered
+        to the destination tile's handler after routing latency plus
+        contention."""
+        transport = self._transport
+        if message.prefix in transport.covered:
             transport.send(message)
             return
         self.inject(message)
@@ -98,20 +156,28 @@ class Network:
                 "noc_send", tid=message.src, tile=message.dst,
                 aux=message.kind,
             )
-        key = (message.src, message.dst)
-        links = self._route_cache.get(key)
+        src = message.src
+        row = self._route_rows[src]
+        if row is None:
+            row = self._route_rows[src] = [None] * len(self._route_rows)
+        links = row[message.dst]
         if links is None:
-            links = self._route_cache[key] = self.fabric.route(
-                self.topology.links_on_route(message.src, message.dst)
+            links = row[message.dst] = self.fabric.route(
+                self.topology.links_on_route(src, message.dst)
             )
-        extra = 0 if self.injector is None else self.injector.send_delay(message)
-        self.fabric.traverse(links, self._deliver, message, extra)
+        injector = self._injector
+        if injector is None:
+            self.fabric.traverse(links, self._delivery, message)
+        else:
+            self.fabric.traverse(
+                links, self._delivery, message, injector.send_delay(message)
+            )
 
     def _deliver(self, message: Message) -> None:
         """Final-hop arrival: apply delivery faults, then hand covered
         traffic to the transport for ordering/deduplication."""
-        if self.injector is not None:
-            deliver, dup_after = self.injector.deliver_verdict(message)
+        if self._injector is not None:
+            deliver, dup_after = self._injector.deliver_verdict(message)
             if dup_after is not None:
                 # The duplicate skips the verdict (no fractal re-rolls).
                 self.sim.schedule(dup_after, self._arrive, message)
@@ -120,8 +186,8 @@ class Network:
         self._arrive(message)
 
     def _arrive(self, message: Message) -> None:
-        if self.transport is not None and message.rel_seq is not None:
-            self.transport.receive(message, self._dispatch)
+        if self._transport is not None and message.rel_seq is not None:
+            self._transport.receive(message, self._dispatch)
         else:
             self._dispatch(message)
 
@@ -133,7 +199,13 @@ class Network:
                 f"{message.dst} (message: {message})"
             )
         self._messages_delivered.value += 1
-        self._latency.add(self.sim.now - message.injected_at)
+        latency = self.sim.now - message.injected_at
+        self._latency.add(latency)
+        group_of = self._group_of
+        if group_of is not None and group_of[message.src] != group_of[message.dst]:
+            self.cross_group_delivered += 1
+            if latency < self._lookahead:
+                self.lookahead_violations += 1
         if self.probe is not None:
             self.probe.emit(
                 "noc_deliver",

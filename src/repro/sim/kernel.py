@@ -61,13 +61,16 @@ class Future:
     point-to-point), plus any number of callbacks may observe it.
     """
 
-    __slots__ = ("sim", "_done", "_value", "_callbacks")
+    __slots__ = ("sim", "_done", "_value", "_cb")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self._done = False
         self._value: Any = None
-        self._callbacks: List[Callable[[Any], None]] = []
+        # None | a single callable | a list of callables.  Nearly every
+        # future has exactly one waiter (the issuing process), so the
+        # common case never allocates a list.
+        self._cb: Any = None
 
     @property
     def done(self) -> bool:
@@ -85,11 +88,14 @@ class Future:
             raise SimulationError("Future completed twice")
         self._done = True
         self._value = value
-        callbacks = self._callbacks
-        if callbacks:
-            self._callbacks = []
-            for callback in callbacks:
-                callback(value)
+        cb = self._cb
+        if cb is not None:
+            self._cb = None
+            if type(cb) is list:
+                for callback in cb:
+                    callback(value)
+            else:
+                cb(value)
 
     def complete_at(self, delay: int, value: Any = None) -> None:
         """Fulfil the future ``delay`` cycles from now."""
@@ -98,8 +104,14 @@ class Future:
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         if self._done:
             callback(self._value)
+            return
+        cb = self._cb
+        if cb is None:
+            self._cb = callback
+        elif type(cb) is list:
+            cb.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._cb = [cb, callback]
 
 
 ProcessBody = Generator[Any, Any, Any]
@@ -210,6 +222,16 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         self._seq = seq = self._seq + 1
         heappush(self._heap, (self.now + delay, seq, callback, arg))
+
+    def _push(self, when: int, callback: Callable, arg: Any) -> None:
+        """Absolute-time scheduling fast path for the NoC hop chain
+        (:meth:`repro.noc.router.LinkFabric._cross`): same seq
+        discipline and ordering as :meth:`schedule`, no delay check
+        (``when >= now`` holds by construction there).  Overridden by
+        :class:`repro.sim.shard.ShardedSimulator` -- this indirection is
+        what lets one router hot path drive either kernel."""
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (when, seq, callback, arg))
 
     def future(self) -> Future:
         return Future(self)

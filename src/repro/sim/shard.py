@@ -1,0 +1,438 @@
+"""Horizon-sharded simulation kernel: conservative-lookahead tile groups
+plus batched same-cycle event draining.
+
+Why this exists
+---------------
+:class:`repro.sim.kernel.Simulator` keeps one global binary heap and
+pays ``heappush`` + ``heappop`` of a 4-tuple -- a :math:`O(\\log n)`
+comparison chain each -- for every single event.  Measured on the
+headline workloads, events cluster heavily on shared timestamps (5
+events per distinct cycle at 64 cores, ~12 at 256 cores: compute-phase
+completions, same-cycle L1 hits, and NoC hop batches all land
+together), so most of that heap traffic is pure overhead.
+
+:class:`ShardedSimulator` replaces the event heap with a *calendar of
+per-cycle buckets*:
+
+* :meth:`schedule` appends to the bucket for the target cycle -- an
+  O(1) dict hit + list append, no tuple comparisons -- and pushes the
+  cycle number onto a small int-heap only when the bucket is new;
+* the drain loop pops one *timestamp* (not one event), then executes
+  the whole bucket in a tight loop -- the "vectorized batch" -- so the
+  heap cost is paid once per distinct cycle and amortized across every
+  event that shares it.
+
+Tile groups and the conservative horizon
+----------------------------------------
+The machine is partitioned into :class:`TileGroups` (contiguous mesh
+blocks from :class:`repro.noc.topology.MeshTopology`).  The minimum
+cross-group NoC delivery latency -- injection + one link crossing + one
+router pipeline, the classic conservative-PDES *lookahead* -- defines a
+synchronization *horizon*: no event executed in one group can schedule
+work in another group sooner than ``lookahead`` cycles in the future
+*through the network*.  :class:`repro.noc.network.Network` stamps every
+cross-group send with this bound and validates it at delivery
+(``Machine.sharding_info()["lookahead_violations"]`` must stay 0), so
+the partition's independence claim is *checked on every run*, not
+assumed.
+
+The determinism total order
+---------------------------
+The legacy kernel orders events by ``(time, seq)`` where ``seq`` is the
+global scheduling sequence.  The sharded kernel's total order is
+``(horizon window, time, bucket position)`` -- and because buckets are
+appended in scheduling order and drained front-to-back, within every
+horizon window this *collapses to exactly* ``(time, seq)``.  That makes
+sharded and legacy runs bit-identical by construction: same cycles,
+same event count, same counters, same golden fingerprints
+(``tests/test_golden_determinism.py`` pins both modes against one
+table).  Cross-group events inside a window are provably independent
+(the lookahead validation above) but are still drained in the merged
+deterministic order rather than group-at-a-time: the zero-latency
+couplings that bypass the NoC -- thread-join futures, futex wakes, the
+ideal sync oracle -- make group-sequential draining unsafe, and Python
+gains nothing from reordering work it executes serially anyway.  See
+docs/PERF.md ("The horizon-sharded kernel") for the full derivation.
+
+``REPRO_SIM_SHARDING`` (see :mod:`repro.common.config`) selects the
+kernel: ``sharded``, ``legacy``, or ``auto`` (sharded everywhere except
+trivially small machines, where the calendar's constant overheads can
+exceed the heap's).  The legacy kernel remains fully supported for
+differential testing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.kernel import NO_ARG, Simulator
+
+from heapq import heappop, heappush
+
+_NO_ARG = NO_ARG
+
+#: Default tile-group block edge: groups are ``block x block`` mesh
+#: tiles.  4x4 keeps intra-group traffic (the common case for locks
+#: homed near their users) off the cross-group ledger while leaving
+#: enough groups for the horizon accounting to be meaningful at 64+.
+DEFAULT_GROUP_BLOCK = 4
+
+
+class TileGroups:
+    """A partition of the mesh into contiguous ``block x block`` groups.
+
+    Tile ``t`` at mesh coordinate ``(x, y)`` belongs to group
+    ``(y // block) * group_side + (x // block)``.  The partition is
+    deterministic given ``(n_tiles, block)``; :attr:`group_of` is a
+    flat list for O(1) per-message lookups on the hot path.
+    """
+
+    def __init__(self, n_tiles: int, side: int, block: int = DEFAULT_GROUP_BLOCK):
+        if block < 1:
+            raise SimulationError(f"group block must be >= 1, got {block}")
+        block = min(block, side) if side else 1
+        self.n_tiles = n_tiles
+        self.side = side
+        self.block = block
+        gside = (side + block - 1) // block if side else 1
+        self.group_side = gside
+        self.group_of: List[int] = [
+            (t // side // block) * gside + (t % side) // block
+            for t in range(n_tiles)
+        ] if side else [0] * n_tiles
+        self.n_groups = (max(self.group_of) + 1) if n_tiles else 1
+
+    @classmethod
+    def for_mesh(cls, n_tiles: int, block: int = DEFAULT_GROUP_BLOCK) -> "TileGroups":
+        side = int(math.isqrt(n_tiles)) if n_tiles else 0
+        return cls(n_tiles, side, block)
+
+    def tiles_in(self, group: int) -> List[int]:
+        return [t for t, g in enumerate(self.group_of) if g == group]
+
+    def __repr__(self) -> str:
+        return (
+            f"TileGroups({self.n_groups} groups of <={self.block}x"
+            f"{self.block} tiles over {self.side}x{self.side})"
+        )
+
+
+def conservative_lookahead(noc_params, n_groups: int) -> int:
+    """The horizon width: minimum NoC latency of any cross-group
+    message.
+
+    Adjacent tiles in different groups are one hop apart, so the bound
+    is one full traversal of a single link: injection latency, the
+    link's serialized occupancy (``link_latency + flits - 1``), and one
+    router pipeline.  Fault-injected delays only *add* latency, so the
+    bound stays conservative on chaos runs.  With a single group there
+    is no cross-group traffic and the horizon degenerates to 1 cycle.
+    """
+    if n_groups <= 1:
+        return 1
+    occupancy = max(1, noc_params.link_latency + noc_params.flits_per_message - 1)
+    return max(
+        1,
+        noc_params.injection_latency + occupancy + noc_params.router_latency,
+    )
+
+
+class ShardedSimulator(Simulator):
+    """Calendar-queue kernel: per-cycle buckets drained as batches.
+
+    Drop-in replacement for :class:`repro.sim.kernel.Simulator` -- the
+    full ``schedule`` / ``run`` / ``run_chunk`` contract is preserved,
+    including the exact event total order (see module docstring), the
+    ``max_events`` / ``until`` semantics, and mid-bucket exception
+    safety (a callback that raises leaves the *unexecuted* remainder of
+    its cycle queued, exactly as the heap kernel leaves unpopped
+    events).
+    """
+
+    def __init__(self, groups: Optional[TileGroups] = None, lookahead: int = 1):
+        super().__init__()
+        self.groups = groups
+        self.lookahead = max(1, int(lookahead))
+        self._buckets = {}
+        self._times: List[int] = []
+        self._buckets_drained = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay, callback, arg=_NO_ARG) -> None:
+        """Run ``callback`` ``delay`` cycles from now; same contract as
+        :meth:`Simulator.schedule`.  Appending to the target cycle's
+        bucket preserves the global scheduling order within the cycle,
+        so no explicit sequence number is needed."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        when = self.now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [(callback, arg)]
+            heappush(self._times, when)
+        else:
+            bucket.append((callback, arg))
+
+    def _push(self, when, callback, arg) -> None:
+        """Absolute-time fast path used by the NoC hop chain (the delay
+        is non-negative by construction there)."""
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [(callback, arg)]
+            heappush(self._times, when)
+        else:
+            bucket.append((callback, arg))
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    # The drain loops *pop* each cycle's bucket out of the table before
+    # executing it, so the hot path pays one dict operation per bucket
+    # (not a getitem plus a delitem) and iterates a frozen list.  A
+    # callback that schedules more work for the *current* cycle simply
+    # creates a fresh bucket under the same timestamp (re-pushing it
+    # onto the time-heap), which the outer loop drains next -- those
+    # events carry the newest sequence positions, so running them after
+    # the frozen bucket is exactly the legacy (time, seq) order.
+
+    def _requeue(self, when, remainder) -> None:
+        """Put an unexecuted bucket remainder back under ``when`` (cold
+        path: a raising callback or a mid-bucket chunk boundary).  Any
+        fresh bucket a callback created at the same cycle holds newer
+        events, so the remainder is prepended to it."""
+        if not remainder:
+            return
+        fresh = self._buckets.get(when)
+        if fresh is not None:
+            # ``when`` is already on the time-heap (pushed when the
+            # fresh bucket was created).
+            remainder.extend(fresh)
+        else:
+            heappush(self._times, when)
+        self._buckets[when] = remainder
+
+    def run(self, until=None, max_events=None) -> int:
+        """Drain the calendar; see :meth:`Simulator.run` for the
+        contract (identical, including event order)."""
+        buckets = self._buckets
+        times = self._times
+        pop_time = heappop
+        pop_bucket = buckets.pop
+        no_arg = _NO_ARG
+        count = 0
+        drained = 0
+        try:
+            if until is None and max_events is None:
+                # Unbounded drain: one int pop per distinct cycle, then
+                # the whole bucket runs in a tight loop.
+                while times:
+                    when = pop_time(times)
+                    self.now = when
+                    bucket = pop_bucket(when)
+                    start = count
+                    try:
+                        for callback, arg in bucket:
+                            count += 1
+                            if arg is no_arg:
+                                callback()
+                            else:
+                                callback(arg)
+                    except BaseException:
+                        del bucket[: count - start]
+                        self._requeue(when, bucket)
+                        raise
+                    drained += 1
+            elif until is None:
+                # Event-budget-only drain.  Whole buckets that fit the
+                # remaining budget (the overwhelmingly common case: the
+                # budget is a livelock guard rail, not a pacing device)
+                # drain with no per-event budget compare; only a bucket
+                # that straddles the boundary takes the checked loop.
+                # The offending event stays queued either way.
+                while times:
+                    if count == max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"at cycle {self.now}"
+                        )
+                    when = pop_time(times)
+                    self.now = when
+                    bucket = pop_bucket(when)
+                    start = count
+                    try:
+                        if count + len(bucket) <= max_events:
+                            for callback, arg in bucket:
+                                count += 1
+                                if arg is no_arg:
+                                    callback()
+                                else:
+                                    callback(arg)
+                        else:
+                            for callback, arg in bucket:
+                                if count == max_events:
+                                    raise SimulationError(
+                                        f"exceeded max_events={max_events} "
+                                        f"at cycle {self.now}"
+                                    )
+                                count += 1
+                                if arg is no_arg:
+                                    callback()
+                                else:
+                                    callback(arg)
+                    except BaseException:
+                        del bucket[: count - start]
+                        self._requeue(when, bucket)
+                        raise
+                    drained += 1
+            elif max_events is None:
+                # Clock-bounded drain, no event budget: peek before the
+                # pop so the first over-horizon bucket stays queued.
+                while times:
+                    when = times[0]
+                    if when > until:
+                        self.now = until
+                        return until
+                    pop_time(times)
+                    self.now = when
+                    bucket = pop_bucket(when)
+                    start = count
+                    try:
+                        for callback, arg in bucket:
+                            count += 1
+                            if arg is no_arg:
+                                callback()
+                            else:
+                                callback(arg)
+                    except BaseException:
+                        del bucket[: count - start]
+                        self._requeue(when, bucket)
+                        raise
+                    drained += 1
+            else:
+                while times:
+                    when = times[0]
+                    if when > until:
+                        self.now = until
+                        return until
+                    if count >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"at cycle {self.now}"
+                        )
+                    pop_time(times)
+                    self.now = when
+                    bucket = pop_bucket(when)
+                    start = count
+                    try:
+                        for callback, arg in bucket:
+                            if count >= max_events:
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events} "
+                                    f"at cycle {self.now}"
+                                )
+                            count += 1
+                            if arg is no_arg:
+                                callback()
+                            else:
+                                callback(arg)
+                    except BaseException:
+                        del bucket[: count - start]
+                        self._requeue(when, bucket)
+                        raise
+                    drained += 1
+        finally:
+            self._events_processed += count
+            self._buckets_drained += drained
+        return self.now
+
+    def run_chunk(self, max_events: int) -> int:
+        """Drain up to ``max_events`` events; exhausting the budget is
+        not an error (the watchdog owns the policy).  A chunk boundary
+        may fall *mid-bucket*: the executed prefix is trimmed and the
+        cycle re-queued, so consecutive chunks replay the exact legacy
+        drain order -- chunked and monolithic drains are bit-identical
+        (pinned by ``tests/test_sharding.py``)."""
+        buckets = self._buckets
+        times = self._times
+        no_arg = _NO_ARG
+        count = 0
+        drained = 0
+        try:
+            while times and count < max_events:
+                when = heappop(times)
+                self.now = when
+                bucket = buckets.pop(when)
+                start = count
+                try:
+                    if count + len(bucket) <= max_events:
+                        # Whole bucket fits the chunk: no per-event
+                        # budget compare (same trick as :meth:`run`).
+                        for callback, arg in bucket:
+                            count += 1
+                            if arg is no_arg:
+                                callback()
+                            else:
+                                callback(arg)
+                        drained += 1
+                        continue
+                    for callback, arg in bucket:
+                        if count == max_events:
+                            break
+                        count += 1
+                        if arg is no_arg:
+                            callback()
+                        else:
+                            callback(arg)
+                    else:
+                        drained += 1
+                        continue
+                except BaseException:
+                    del bucket[: count - start]
+                    self._requeue(when, bucket)
+                    raise
+                # Budget exhausted mid-bucket: keep the remainder, in
+                # order, under the same cycle.
+                del bucket[: count - start]
+                self._requeue(when, bucket)
+        finally:
+            self._events_processed += count
+            self._buckets_drained += drained
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return sum(map(len, self._buckets.values()))
+
+    @property
+    def buckets_drained(self) -> int:
+        """Distinct (cycle) batches executed so far; the ratio
+        ``events_processed / buckets_drained`` is the measured batch
+        density (how many heap operations the calendar amortized)."""
+        return self._buckets_drained
+
+    @property
+    def horizon_windows(self) -> int:
+        """Conservative-lookahead windows the clock has crossed."""
+        return self.now // self.lookahead + 1
+
+    def sharding_info(self) -> dict:
+        """Metadata stamped into ``repro.perf`` benchmark documents."""
+        drained = self._buckets_drained
+        return {
+            "mode": "sharded",
+            "n_groups": self.groups.n_groups if self.groups else 1,
+            "group_block": self.groups.block if self.groups else 0,
+            "lookahead": self.lookahead,
+            "horizon_windows": self.horizon_windows,
+            "buckets_drained": drained,
+            "batch_density": (
+                round(self._events_processed / drained, 2) if drained else 0.0
+            ),
+        }

@@ -33,6 +33,12 @@ from repro.workloads.kernels import KERNELS
 
 CONFIGS = ("pthread", "mcs-tour", "msa0", "msa-omu-2", "ideal")
 
+#: Both simulation kernels are pinned against the SAME golden table --
+#: the sharded calendar must be indistinguishable from the legacy heap
+#: in every simulated observable (the bit-identical contract of
+#: repro.sim.shard).
+MODES = ("legacy", "sharded")
+
 # Workload name -> (kernel, cores, scale).
 WORKLOADS = {
     "streamcluster": ("streamcluster", 16, 0.25),
@@ -40,10 +46,10 @@ WORKLOADS = {
 }
 
 
-def snapshot(config: str, workload: str) -> dict:
+def snapshot(config: str, workload: str, sim_mode: str = None) -> dict:
     """One run's complete observable outcome, as a plain dict."""
     kernel, cores, scale = WORKLOADS[workload]
-    machine = build_machine(config, n_cores=cores, seed=2015)
+    machine = build_machine(config, n_cores=cores, seed=2015, sim_mode=sim_mode)
     result = run_workload(machine, KERNELS[kernel](cores, scale))
     latency = machine.network.stats.histogram("latency")
     return {
@@ -293,18 +299,21 @@ GOLDEN = {
 }
 
 
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 @pytest.mark.parametrize("config", CONFIGS)
-def test_golden_run_is_bit_identical(config, workload):
-    got = snapshot(config, workload)
+def test_golden_run_is_bit_identical(config, workload, mode):
+    got = snapshot(config, workload, sim_mode=mode)
     want = GOLDEN[workload][config]
     assert got == want, (
-        f"{config}/{workload} diverged from the golden run:\n"
+        f"{config}/{workload} [{mode} kernel] diverged from the golden "
+        f"run:\n"
         f"got:  {json.dumps(got, sort_keys=True)}\n"
         f"want: {json.dumps(want, sort_keys=True)}\n"
         "If this PR intentionally changes the timing model, regenerate "
-        "the table (see module docstring); a hot-path optimization must "
-        "never trip this."
+        "the table (see module docstring); a hot-path optimization -- "
+        "including anything in the sharded kernel -- must never trip "
+        "this, and both kernel modes must match the same table."
     )
 
 

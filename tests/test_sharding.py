@@ -1,0 +1,345 @@
+"""The horizon-sharded kernel (:mod:`repro.sim.shard`).
+
+Three layers of checks:
+
+* **Unit**: the tile-group partition, the conservative-lookahead
+  derivation, and the calendar kernel's scheduling/drain contract
+  (exception safety, ``max_events``, ``run_chunk``).
+* **Kernel differential**: a randomized event program executed on the
+  legacy heap and the sharded calendar must fire its callbacks in the
+  *exact same total order* -- the bit-identical claim, checked at the
+  event level rather than through aggregate counters.
+* **Machine differential**: full machines (an open-loop traffic
+  workload and a chaos/fault-injection run) built under both kernels
+  must agree on every simulated observable, and sharded runs must
+  report zero conservative-lookahead violations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common import config as repro_config
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.params import NocParams
+from repro.faults import FaultPlan, MessageFault
+from repro.harness.configs import build_machine
+from repro.harness.runner import run_workload
+from repro.machine import resolve_sim_mode
+from repro.sim.kernel import Simulator
+from repro.sim.shard import (
+    DEFAULT_GROUP_BLOCK,
+    ShardedSimulator,
+    TileGroups,
+    conservative_lookahead,
+)
+from repro.traffic.workload import make_traffic
+from repro.workloads.kernels import KERNELS
+
+
+# ----------------------------------------------------------------------
+# Tile groups
+# ----------------------------------------------------------------------
+def test_tile_groups_partition_the_mesh():
+    groups = TileGroups.for_mesh(64)
+    assert groups.n_groups == 4  # 8x8 mesh, 4x4 blocks
+    seen = set()
+    for group in range(groups.n_groups):
+        tiles = groups.tiles_in(group)
+        assert tiles, f"group {group} is empty"
+        assert not seen & set(tiles), "groups overlap"
+        seen.update(tiles)
+    assert seen == set(range(64))
+
+
+def test_tile_groups_are_contiguous_blocks():
+    groups = TileGroups.for_mesh(64)
+    side, block = 8, DEFAULT_GROUP_BLOCK
+    for t in range(64):
+        x, y = t % side, t // side
+        expected = (y // block) * groups.group_side + (x // block)
+        assert groups.group_of[t] == expected
+
+
+def test_tile_groups_scale_with_mesh_size():
+    assert TileGroups.for_mesh(16).n_groups == 1  # 4x4 fits one block
+    assert TileGroups.for_mesh(256).n_groups == 16  # 16x16 / 4x4
+    assert TileGroups.for_mesh(4, block=1).n_groups == 4
+
+
+def test_tile_groups_reject_bad_block():
+    with pytest.raises(SimulationError):
+        TileGroups(16, 4, block=0)
+
+
+# ----------------------------------------------------------------------
+# Conservative lookahead
+# ----------------------------------------------------------------------
+def test_lookahead_is_min_cross_group_noc_latency():
+    noc = NocParams()
+    expected = noc.injection_latency + max(
+        1, noc.link_latency + noc.flits_per_message - 1
+    ) + noc.router_latency
+    assert conservative_lookahead(noc, 4) == expected
+
+
+def test_lookahead_degenerates_with_one_group():
+    assert conservative_lookahead(NocParams(), 1) == 1
+
+
+# ----------------------------------------------------------------------
+# Kernel differential: exact event order
+# ----------------------------------------------------------------------
+def _random_program(sim, log, rng, depth=0):
+    """Schedule a seed-driven tangle of events that re-schedule more
+    events (including same-cycle ones), recording fire order."""
+
+    def fire(tag):
+        log.append((sim.now, tag))
+        if depth < 3 and rng.random() < 0.55:
+            _random_program(sim, log, rng, depth + 1)
+
+    for i in range(rng.randrange(1, 5)):
+        tag = rng.randrange(1_000_000)
+        delay = rng.choice((0, 0, 1, 2, 3, 7, rng.randrange(20)))
+        if rng.random() < 0.5:
+            sim.schedule(delay, fire, tag)
+        else:
+            sim.schedule(delay, lambda t=tag: fire(t))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_sharded_fires_events_in_exact_legacy_order(seed):
+    logs = []
+    for sim in (Simulator(), ShardedSimulator()):
+        log = []
+        _random_program(sim, log, random.Random(seed))
+        sim.run()
+        logs.append((log, sim.events_processed))
+    assert logs[0] == logs[1]
+
+
+@pytest.mark.parametrize("chunk", (1, 2, 3, 257))
+def test_chunked_drain_replays_monolithic_order(chunk):
+    """run_chunk boundaries may fall mid-bucket; consecutive chunks must
+    still replay the exact monolithic drain order (the watchdog drives
+    the kernel this way)."""
+    mono_log, mono_sim = [], ShardedSimulator()
+    _random_program(mono_sim, mono_log, random.Random(99))
+    mono_sim.run()
+
+    chunk_log, chunk_sim = [], ShardedSimulator()
+    _random_program(chunk_sim, chunk_log, random.Random(99))
+    total = 0
+    while True:
+        ran = chunk_sim.run_chunk(chunk)
+        if ran == 0:
+            break
+        assert ran <= chunk
+        total += ran
+    assert chunk_log == mono_log
+    assert total == mono_sim.events_processed == chunk_sim.events_processed
+
+
+def test_mid_bucket_exception_requeues_remainder():
+    sim = ShardedSimulator()
+    log = []
+
+    def boom():
+        log.append("boom")
+        raise RuntimeError("injected")
+
+    sim.schedule(0, log.append, "a")
+    sim.schedule(0, boom)
+    sim.schedule(0, log.append, "b")
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The raising event was consumed; the unexecuted remainder stays
+    # queued in order, exactly like unpopped heap events.
+    assert log == ["a", "boom"]
+    assert sim.events_processed == 2
+    assert sim.pending_events == 1
+    sim.run()
+    assert log == ["a", "boom", "b"]
+
+
+def test_max_events_matches_legacy_semantics():
+    for sim in (Simulator(), ShardedSimulator()):
+        for _ in range(5):
+            sim.schedule(0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=3)
+        assert sim.events_processed == 3
+        assert sim.pending_events == 2
+
+
+def test_until_stops_the_clock_without_draining():
+    for sim in (Simulator(), ShardedSimulator()):
+        log = []
+        sim.schedule(5, log.append, "early")
+        sim.schedule(50, log.append, "late")
+        assert sim.run(until=10) == 10
+        assert log == ["early"]
+        assert sim.pending_events == 1
+
+
+def test_sharding_info_reports_batch_density():
+    groups = TileGroups.for_mesh(64)
+    sim = ShardedSimulator(groups, conservative_lookahead(NocParams(), 4))
+    for i in range(10):
+        sim.schedule(i % 2, lambda: None)
+    sim.run()
+    info = sim.sharding_info()
+    assert info["mode"] == "sharded"
+    assert info["n_groups"] == 4
+    assert info["lookahead"] >= 1
+    assert info["buckets_drained"] == 2
+    assert info["batch_density"] == 5.0
+
+
+# ----------------------------------------------------------------------
+# Mode selection
+# ----------------------------------------------------------------------
+def test_auto_mode_thresholds():
+    assert resolve_sim_mode(4, "auto") == "legacy"
+    assert resolve_sim_mode(16, "auto") == "sharded"
+    assert resolve_sim_mode(256, "auto") == "sharded"
+    assert resolve_sim_mode(256, "legacy") == "legacy"
+    assert resolve_sim_mode(4, "sharded") == "sharded"
+
+
+def test_mode_knob_rejects_typos():
+    with pytest.raises(ConfigError):
+        repro_config.sim_sharding("bogus")
+
+
+def test_mode_env_knob_selects_kernel(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SHARDING", "legacy")
+    machine = build_machine("msa-omu-2", n_cores=64)
+    assert not isinstance(machine.sim, ShardedSimulator)
+    monkeypatch.setenv("REPRO_SIM_SHARDING", "sharded")
+    machine = build_machine("msa-omu-2", n_cores=64)
+    assert isinstance(machine.sim, ShardedSimulator)
+
+
+# ----------------------------------------------------------------------
+# Machine differential: sharded vs legacy, byte-identical
+# ----------------------------------------------------------------------
+def _machine_snapshot(machine, result) -> dict:
+    latency = machine.network.stats.histogram("latency")
+    return {
+        "cycles": result.cycles,
+        "events": machine.sim.events_processed,
+        "noc": dict(sorted(result.noc_counters.items())),
+        "msa": dict(sorted(result.msa_counters.items())),
+        "sync": dict(sorted(result.sync_unit_counters.items())),
+        "latency_count": latency.count,
+        "latency_total": latency.total,
+    }
+
+
+def test_traffic_workload_identical_across_kernels():
+    """Open-loop traffic exercises the zero-latency couplings (futex
+    wakes, queue futures) that make merged-order draining mandatory."""
+    snaps = {}
+    for mode in ("legacy", "sharded"):
+        machine = build_machine(
+            "msa-omu-2", n_cores=16, seed=2015, sim_mode=mode
+        )
+        result = run_workload(machine, make_traffic(16, 0.5))
+        snaps[mode] = _machine_snapshot(machine, result)
+        if mode == "sharded":
+            info = machine.sharding_info()
+            assert info["mode"] == "sharded"
+            assert info["lookahead_violations"] == 0
+    assert snaps["legacy"] == snaps["sharded"]
+
+
+def test_chaos_run_identical_across_kernels():
+    """Fault injection (drops, retransmissions, duplicate suppression)
+    is seed-driven off the same RNG in both kernels, so even a chaos
+    run must be bit-identical across modes -- and fault delays only add
+    latency, so the lookahead stays conservative."""
+    outcomes = {}
+    for mode in ("legacy", "sharded"):
+        plan = FaultPlan(
+            seed=9,
+            messages=(MessageFault(kind_prefix="msa", drop_prob=0.10),),
+        )
+        machine = build_machine(
+            "msa-omu-2", n_cores=16, seed=21, fault_plan=plan, sim_mode=mode
+        )
+        lock = machine.allocator.sync_var()
+        counter = machine.allocator.line()
+
+        def body(th):
+            for _ in range(8):
+                yield from th.lock(lock)
+                value = yield from th.load(counter)
+                yield from th.store(counter, value + 1)
+                yield from th.unlock(lock)
+
+        for _ in range(6):
+            machine.scheduler.spawn(body)
+        machine.run(max_events=10_000_000)
+        outcomes[mode] = {
+            "cycles": machine.sim.now,
+            "events": machine.sim.events_processed,
+            "faults": dict(sorted(machine.fault_counters().items())),
+            "value": machine.memory.peek(counter),
+        }
+        if mode == "sharded":
+            assert machine.sharding_info()["lookahead_violations"] == 0
+    assert outcomes["legacy"] == outcomes["sharded"]
+    assert outcomes["sharded"]["value"] == 6 * 8
+    assert outcomes["sharded"]["faults"]["msgs_dropped"] > 0
+
+
+def test_parsec_kernel_identical_across_kernels():
+    """A 64-core run (4 tile groups, real cross-group traffic) on a
+    paper workload: full counter equality plus validated lookahead."""
+    snaps = {}
+    for mode in ("legacy", "sharded"):
+        machine = build_machine(
+            "msa-omu-2", n_cores=64, seed=2015, sim_mode=mode
+        )
+        result = run_workload(machine, KERNELS["streamcluster"](64, 0.5))
+        snaps[mode] = _machine_snapshot(machine, result)
+    assert snaps["legacy"] == snaps["sharded"]
+
+
+def test_sharded_watchdog_chunked_machine_run_matches_monolithic():
+    """Machine-level chunked drain (how the watchdog drives long runs):
+    same workload, one machine drained monolithically and one in
+    257-event chunks, identical outcome."""
+
+    def outcome(chunked: bool) -> dict:
+        machine = build_machine(
+            "msa-omu-2", n_cores=16, seed=2015, sim_mode="sharded"
+        )
+        lock = machine.allocator.sync_var()
+        counter = machine.allocator.line()
+
+        def body(th):
+            for _ in range(5):
+                yield from th.lock(lock)
+                value = yield from th.load(counter)
+                yield from th.store(counter, value + 1)
+                yield from th.unlock(lock)
+
+        for _ in range(4):
+            machine.scheduler.spawn(body)
+        if chunked:
+            while machine.sim.run_chunk(257):
+                pass
+        else:
+            machine.run(max_events=10_000_000)
+        return {
+            "cycles": machine.sim.now,
+            "events": machine.sim.events_processed,
+            "value": machine.memory.peek(counter),
+        }
+
+    assert outcome(chunked=False) == outcome(chunked=True)
