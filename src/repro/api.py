@@ -47,6 +47,7 @@ __all__ = [
     "sweep",
     "traffic",
     "bench",
+    "dse",
     "observe",
     "report",
     "fsck",
@@ -299,6 +300,51 @@ def report(cache_dir, out, baseline: Optional[str] = None, title=None):
     return report_from_cache(cache_dir, out, baseline=baseline, title=title)
 
 
+def dse(
+    space,
+    strategy="grid",
+    baseline: str = "pthread",
+    **kwargs,
+):
+    """Explore a machine-parameter design space and return the Pareto
+    front as a :class:`repro.dse.DseResult`.
+
+    ``space`` is a :class:`repro.dse.SpaceSpec`, a space dict (the
+    ``to_dict`` / space-file format), or a mapping of axes
+    (``{"msa.entries_per_tile": [1, 2, 4]}``; grid keywords --
+    ``config``, ``workloads``, ``cores``, ``scale``, ``seed``,
+    ``name`` -- then shape the space, everything else defaults).  ``strategy`` is ``"grid"``, ``"random"``, or
+    ``"halving"`` (or a :class:`repro.dse.Strategy`); remaining keyword
+    arguments go to :func:`repro.dse.explore` (``cache_dir``,
+    ``workers``, ``server``, ``chaos_rate``, strategy knobs...).  Every
+    design point is an ordinary cached sweep point, so re-running the
+    same space resumes from the cache.  See docs/DSE.md; the CLI form
+    is ``python -m repro dse``."""
+    from repro.dse import SpaceSpec, explore
+
+    if isinstance(space, SpaceSpec):
+        spec = space
+    elif isinstance(space, dict) and "axes" in space:
+        spec = SpaceSpec.from_dict(space)
+    elif isinstance(space, dict):
+        # Bare axes mapping: grid keywords (config/workloads/cores/...)
+        # belong to the space, not to explore().
+        make_kwargs = {
+            k: kwargs.pop(k)
+            for k in ("config", "workloads", "cores", "scale", "seed", "name")
+            if k in kwargs
+        }
+        spec = SpaceSpec.make(space, **make_kwargs)
+    else:
+        from repro.common.errors import ConfigError
+
+        raise ConfigError(
+            "space must be a SpaceSpec, a space document dict, or an "
+            f"axes mapping, got {type(space).__name__}"
+        )
+    return explore(spec, strategy=strategy, baseline=baseline, **kwargs)
+
+
 def fsck(cache_dir, manifest=None, repair: bool = True):
     """Scan (and by default repair) a result cache, its job store, and
     optionally a sweep manifest: torn writes, checksum mismatches,
@@ -396,7 +442,7 @@ def fetch(sweep_id: str, server: Optional[str] = None) -> List[SweepPoint]:
 
 
 def _sweep_remote(server, configs, workloads, cores, scale, seed, checkers,
-                  return_stats, rejected):
+                  params, return_stats, rejected):
     """The ``server=`` path of :func:`sweep`: submit, wait, fetch."""
     from repro.client import Client
     from repro.common.errors import ConfigError
@@ -419,6 +465,7 @@ def _sweep_remote(server, configs, workloads, cores, scale, seed, checkers,
         cores=cores,
         scale=scale,
         seed=seed,
+        params=params,
         checkers=tuple(checkers),
     )
     client.wait(sid)
@@ -448,6 +495,8 @@ def sweep(
     return_stats: bool = False,
     checkers: Sequence[str] = (),
     server: Optional[str] = None,
+    params: Optional[Dict] = None,
+    fault_plan=None,
 ) -> Union[List[SweepPoint], Tuple[List[SweepPoint], EngineStats]]:
     """Run a (config x workload x cores) grid through the engine.
 
@@ -458,16 +507,30 @@ def sweep(
     resumable.  With ``return_stats`` the engine's
     :class:`EngineStats` (cache hits, retries, failures) ride along.
 
+    ``params`` applies machine-parameter overrides to every point of
+    the grid -- top-level :class:`MachineParams` fields or dotted
+    scalar paths like ``{"msa.entries_per_tile": 4}`` (this is how
+    :mod:`repro.dse` evaluates design points); ``fault_plan`` runs the
+    grid under fault injection.  Both fold into each point's cache key.
+
     With ``server`` (a ``repro serve`` URL), the grid is submitted to
     that service instead of running locally -- the call blocks until the
     service finishes and returns the same points, byte-identical; the
     engine knobs (``workers``/``cache_dir``/...) then belong to the
-    server, not this call.
+    server, not this call.  Dotted ``params`` cross the wire; fault
+    plans are process-local and do not.
     """
     if server is not None:
+        if fault_plan is not None:
+            from repro.common.errors import ConfigError
+
+            raise ConfigError(
+                "fault_plan does not combine with server=: fault plans "
+                "are process-local; run chaos sweeps locally"
+            )
         return _sweep_remote(
             server, configs, workloads, cores, scale, seed, checkers,
-            return_stats,
+            params, return_stats,
             rejected={
                 "workers": workers, "cache_dir": cache_dir,
                 "manifest": manifest, "machine_hook": machine_hook,
@@ -489,6 +552,8 @@ def sweep(
         machine_hook=machine_hook,
         engine=engine if machine_hook is None else None,
         checkers=tuple(checkers),
+        params=params,
+        fault_plan=fault_plan,
     )
     if return_stats:
         return points, engine.stats

@@ -13,8 +13,8 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from dataclasses import asdict, dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Dict, Optional
 
 from repro.common.errors import ConfigError
 
@@ -278,6 +278,74 @@ class MachineParams:
         """JSON-ready nested dict of every parameter (recurses into the
         sub-parameter dataclasses; ``msa`` becomes ``None`` when absent)."""
         return asdict(self)
+
+    def with_overrides(self, overrides: Dict[str, object]) -> "MachineParams":
+        """Apply a mapping of field overrides, including dotted paths.
+
+        Keys are either top-level field names (``"ideal_sync"``, taking
+        whole sub-dataclass values like :meth:`with_`) or dotted paths
+        into a parameter group (``"msa.entries_per_tile"``,
+        ``"omu.counter_bits"``, ``"noc.link_latency"``) whose values are
+        plain scalars.  Dotted overrides are what makes a design point
+        pure JSON: they survive the result cache, the service wire
+        format, and :mod:`repro.dse` space files unchanged.
+
+        Unknown fields, dotted paths into an absent group (``msa`` is
+        ``None`` on software-only configurations), and a group named
+        both whole and dotted raise :class:`ConfigError`.
+        """
+        top: Dict[str, object] = {}
+        nested: Dict[str, Dict[str, object]] = {}
+        for name, value in overrides.items():
+            if "." in name:
+                head, _, leaf = name.partition(".")
+                if not leaf or "." in leaf:
+                    raise ConfigError(
+                        f"override {name!r}: expected 'group.field' with "
+                        "exactly one dot"
+                    )
+                nested.setdefault(head, {})[leaf] = value
+            else:
+                top[name] = value
+        field_names = {f.name for f in fields(self)}
+        for name in top:
+            if name not in field_names:
+                raise ConfigError(
+                    f"unknown machine parameter {name!r}; top-level "
+                    f"fields: {sorted(field_names)}"
+                )
+        for head, changes in nested.items():
+            if head in top:
+                raise ConfigError(
+                    f"parameter group {head!r} overridden both whole "
+                    f"({head}=...) and dotted ({head}.{next(iter(changes))}"
+                    "=...); pick one spelling"
+                )
+            if head not in field_names:
+                raise ConfigError(
+                    f"unknown parameter group {head!r} in dotted override; "
+                    f"top-level fields: {sorted(field_names)}"
+                )
+            sub = getattr(self, head)
+            if sub is None:
+                raise ConfigError(
+                    f"cannot override {head}.{next(iter(changes))}: this "
+                    f"configuration has no {head!r} (it is None)"
+                )
+            if not is_dataclass(sub):
+                raise ConfigError(
+                    f"{head!r} is not a parameter group; set it directly "
+                    f"({head}=...)"
+                )
+            sub_names = {f.name for f in fields(sub)}
+            for leaf in changes:
+                if leaf not in sub_names:
+                    raise ConfigError(
+                        f"unknown field {head}.{leaf}; {head} fields: "
+                        f"{sorted(sub_names)}"
+                    )
+            top[head] = replace(sub, **changes)
+        return replace(self, **top) if top else self
 
     def stable_hash(self) -> str:
         """Content hash of the full parameter tree.

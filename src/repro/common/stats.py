@@ -164,18 +164,17 @@ class Histogram:
         >>> h.quantiles([0.5, 0.99, 0.999])
         [50.0, 99.0, 100.0]
         """
+        qs = list(qs)
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
         ordered = self._sorted
         if ordered is None:
             if not self.samples:
                 return [0.0 for _ in qs]
             ordered = self._sorted = sorted(self.samples)
         n = len(ordered)
-        out: List[float] = []
-        for q in qs:
-            if not 0.0 <= q <= 1.0:
-                raise ValueError(f"quantile must be in [0, 1], got {q}")
-            out.append(ordered[max(0, math.ceil(q * n) - 1)])
-        return out
+        return [ordered[max(0, math.ceil(q * n) - 1)] for q in qs]
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,62 @@
+"""Design-space exploration over the cached sweep stack.
+
+The paper fixes a handful of configurations (MSA-1/2/4, with and
+without OMU); :mod:`repro.dse` generalizes that into config-driven
+exploration of *any* region of the machine-parameter space:
+
+* :class:`SpaceSpec` declares the space -- named axes over
+  :class:`~repro.common.params.MachineParams` fields (dotted paths like
+  ``msa.entries_per_tile``), a base config, and a workload grid;
+* :mod:`~repro.dse.strategies` decide which designs run at what
+  workload scale (``grid``, seeded ``random``, successive ``halving``);
+* every evaluation goes through :func:`repro.api.sweep`, so the result
+  cache dedups repeated points and ``server=`` fans the grid out to a
+  ``repro serve`` instance;
+* :class:`CostModel` prices each design in storage bits, and
+  :func:`pareto_front` extracts the exact non-dominated set over
+  speedup (max), cost (min), and tail behaviour under fault injection
+  (min);
+* the outcome is a :class:`DseResult` document that the cache-only
+  HTML report renders as Pareto scatter + heatmap pages.
+
+Entry points: :func:`repro.api.dse`, ``python -m repro dse``, and
+:func:`explore` directly.  See ``docs/DSE.md`` for the full guide.
+"""
+
+from repro.dse.cost import CostModel
+from repro.dse.explore import (
+    DEFAULT_CHAOS_RATE,
+    DesignRecord,
+    DseResult,
+    explore,
+)
+from repro.dse.pareto import dominates, pareto_front, pareto_indices
+from repro.dse.space import SpaceSpec
+from repro.dse.strategies import (
+    STRATEGIES,
+    GridStrategy,
+    HalvingStrategy,
+    RandomStrategy,
+    Rung,
+    Strategy,
+    resolve_strategy,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_CHAOS_RATE",
+    "DesignRecord",
+    "DseResult",
+    "GridStrategy",
+    "HalvingStrategy",
+    "RandomStrategy",
+    "Rung",
+    "STRATEGIES",
+    "SpaceSpec",
+    "Strategy",
+    "dominates",
+    "explore",
+    "pareto_front",
+    "pareto_indices",
+    "resolve_strategy",
+]

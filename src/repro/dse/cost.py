@@ -1,0 +1,127 @@
+"""Hardware cost model for MiSAR design points.
+
+The paper's pitch is *minimalism*: the MSA beats lock cache / SSB /
+MiSB style accelerators not by being faster but by being drastically
+smaller.  To rank design points the way the paper does, the DSE layer
+needs a cost axis next to the performance axis; this module prices a
+:class:`~repro.common.params.MachineParams` in storage bits, following
+the structure-size accounting of the paper (section 4, Table 1):
+
+* one **MSA entry** holds an address tag, the FSM state of the
+  synchronization variable, the HWQueue bit-vector (one bit per
+  hardware thread in the machine -- this is the term that grows with
+  the core count), and a few auxiliary bits (head/count fields);
+* one **OMU slice** holds ``n_counters`` saturating counters of
+  ``counter_bits`` each (scaled by ``bloom_hashes`` when the counting
+  Bloom filter variant is enabled);
+* the **NoC** contributes one link-width worth of wiring per mesh
+  link -- constant across MSA sizing but it separates machines swept
+  over ``noc``-level axes.
+
+Every constant is a dataclass field, so studies that disagree with the
+defaults (different tag width, different link width) override them and
+re-rank without touching the search code.  Costs are *relative* units
+for Pareto ranking, not area in mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.params import MachineParams
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Storage-bit cost accounting (override any field to re-price)."""
+
+    entry_tag_bits: int = 46
+    """Synchronization-address tag per MSA entry (paper: 46-bit tag)."""
+
+    entry_state_bits: int = 4
+    """FSM state of the entry (free/lock/barrier/condvar sub-states)."""
+
+    entry_aux_bits: int = 8
+    """Head pointer / waiter-count / bookkeeping bits per entry."""
+
+    inf_entries: int = 64
+    """Entries charged for MSA-inf (``entries_per_tile=None``): enough
+    to never overflow any evaluated workload, i.e. the upper bound the
+    paper argues against building."""
+
+    link_bits: float = 64.0
+    """Wiring charged per mesh link (one flit width)."""
+
+    # ------------------------------------------------------------------
+    def entry_bits(self, params: MachineParams) -> float:
+        """Bits in one MSA entry on this machine.  The HWQueue term is
+        one bit per hardware thread *in the whole machine*, which is why
+        entry cost -- and therefore the minimalism argument -- scales
+        with core count."""
+        hwqueue = params.n_cores * params.core.hw_threads
+        return (
+            self.entry_tag_bits
+            + self.entry_state_bits
+            + hwqueue
+            + self.entry_aux_bits
+        )
+
+    def msa_bits(self, params: MachineParams) -> float:
+        """Total MSA storage across all tiles (0 for software-only)."""
+        if params.msa is None:
+            return 0.0
+        entries = params.msa.entries_per_tile
+        if entries is None:
+            entries = self.inf_entries
+        return params.n_cores * entries * self.entry_bits(params)
+
+    def omu_bits(self, params: MachineParams) -> float:
+        """Total OMU counter storage across all tiles (0 when disabled
+        or when there is no MSA to manage overflow for)."""
+        if params.msa is None or not params.omu.enabled:
+            return 0.0
+        per_slice = params.omu.n_counters * params.omu.counter_bits
+        if params.omu.use_bloom:
+            per_slice *= params.omu.bloom_hashes
+        return params.n_cores * per_slice
+
+    def noc_links(self, params: MachineParams) -> int:
+        """Bidirectional links in the 2D mesh: ``2 * side * (side-1)``."""
+        side = params.mesh_side
+        return 2 * side * (side - 1)
+
+    def breakdown(self, params: MachineParams) -> Dict[str, float]:
+        """All cost components plus their sum (the ``total`` key is the
+        scalar the Pareto front minimizes)."""
+        msa = self.msa_bits(params)
+        omu = self.omu_bits(params)
+        links = self.noc_links(params)
+        return {
+            "msa_bits": msa,
+            "omu_bits": omu,
+            "noc_links": float(links),
+            "total": msa + omu + links * self.link_bits,
+        }
+
+    def total(self, params: MachineParams) -> float:
+        return self.breakdown(params)["total"]
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "entry_tag_bits": self.entry_tag_bits,
+            "entry_state_bits": self.entry_state_bits,
+            "entry_aux_bits": self.entry_aux_bits,
+            "inf_entries": self.inf_entries,
+            "link_bits": self.link_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "CostModel":
+        return cls(
+            entry_tag_bits=int(data.get("entry_tag_bits", 46)),
+            entry_state_bits=int(data.get("entry_state_bits", 4)),
+            entry_aux_bits=int(data.get("entry_aux_bits", 8)),
+            inf_entries=int(data.get("inf_entries", 64)),
+            link_bits=float(data.get("link_bits", 64.0)),
+        )

@@ -1,0 +1,91 @@
+"""Exact Pareto-front extraction over small objective sets.
+
+Design-space results are ranked on a handful of objectives (speedup,
+hardware cost, tail latency under chaos).  With at most a few hundred
+designs per space, the exact O(n^2) dominance sweep is instant and has
+no tuning knobs, so that is what we use -- no epsilon approximation,
+no sorting tricks.
+
+Objectives are ``(key, sense)`` pairs where ``sense`` is ``"max"`` or
+``"min"``; points are mappings from key to a number.  A point *a*
+dominates *b* iff *a* is no worse than *b* in every objective and
+strictly better in at least one.  Consequences worth knowing:
+
+* duplicate points (identical objective vectors) never dominate each
+  other, so ties all survive onto the front;
+* with a single objective the front is every point tied at the optimum;
+* a point missing an objective value (``None``) is treated as worst in
+  that objective, so partially-evaluated designs cannot crowd out fully
+  evaluated ones.
+
+>>> pts = [{"s": 2.0, "c": 10}, {"s": 1.0, "c": 5}, {"s": 1.0, "c": 20}]
+>>> pareto_indices(pts, (("s", "max"), ("c", "min")))
+[0, 1]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Mapping, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+
+Objective = Tuple[str, str]
+
+
+def _signed(point: Mapping[str, Any], objectives: Sequence[Objective]):
+    """Project a point onto a maximize-everything vector (``min``
+    objectives are negated; missing/None values become -inf = worst)."""
+    vec = []
+    for key, sense in objectives:
+        value = point.get(key)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            vec.append(float("-inf"))
+        elif sense == "max":
+            vec.append(float(value))
+        else:
+            vec.append(-float(value))
+    return vec
+
+
+def dominates(a, b) -> bool:
+    """True iff signed vector ``a`` dominates ``b`` (no worse anywhere,
+    strictly better somewhere)."""
+    better = False
+    for x, y in zip(a, b):
+        if x < y:
+            return False
+        if x > y:
+            better = True
+    return better
+
+
+def pareto_indices(
+    points: Sequence[Mapping[str, Any]],
+    objectives: Sequence[Objective],
+) -> List[int]:
+    """Indices of the non-dominated points, in input order."""
+    if not objectives:
+        raise ConfigError("pareto front needs at least one objective")
+    for key, sense in objectives:
+        if sense not in ("max", "min"):
+            raise ConfigError(
+                f"objective {key!r}: sense must be 'max' or 'min', "
+                f"got {sense!r}"
+            )
+    vecs = [_signed(p, objectives) for p in points]
+    front = []
+    for i, a in enumerate(vecs):
+        if not any(
+            dominates(b, a) for j, b in enumerate(vecs) if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def pareto_front(
+    points: Sequence[Mapping[str, Any]],
+    objectives: Sequence[Objective],
+) -> List[Mapping[str, Any]]:
+    """The non-dominated points themselves, in input order."""
+    return [points[i] for i in pareto_indices(points, objectives)]

@@ -1,0 +1,226 @@
+"""Declarative design spaces: named axes over machine parameters.
+
+A :class:`SpaceSpec` names a region of the MiSAR design space: a base
+configuration, a workload x cores grid to evaluate every design on,
+and *axes* -- ordered (name, values) pairs where each name is a
+:class:`~repro.common.params.MachineParams` field (top-level, like
+``ideal_sync``, or a dotted scalar path like ``msa.entries_per_tile``
+or ``omu.counter_bits``).  The cartesian product of the axes is the set
+of *designs*; each (design, workload, cores) triple becomes an ordinary
+:class:`~repro.harness.jobs.JobSpec`, so the result cache, dedup, and
+the experiment service all apply unchanged.
+
+Spaces are pure data: they round-trip through JSON (``to_dict`` /
+``from_dict``, the format ``python -m repro dse --space FILE`` reads)
+and are content-hashed (:meth:`SpaceSpec.space_hash`) so a re-run of
+the same space resumes from the cache and lands in the same DSE
+document.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+
+#: Axis names that would fight the grid dimensions or the RNG contract.
+_FORBIDDEN_AXES = ("n_cores", "seed")
+
+
+def _as_tuple(values) -> Tuple:
+    if isinstance(values, (list, tuple)):
+        return tuple(values)
+    return (values,)
+
+
+@dataclass(frozen=True)
+class SpaceSpec:
+    """One design space: base config + workload grid + parameter axes."""
+
+    axes: Tuple[Tuple[str, Tuple], ...]
+    """Ordered ``(name, values)`` pairs; names are MachineParams fields
+    or dotted scalar paths (``msa.entries_per_tile``)."""
+
+    config: str = "msa-omu-2"
+    """Base configuration every design starts from (axes override it)."""
+
+    workloads: Tuple[str, ...] = ("streamcluster",)
+    cores: Tuple[int, ...] = (16,)
+    scale: float = 1.0
+    seed: int = 2015
+    name: str = ""
+    """Free-form label; not part of the content hash."""
+
+    @classmethod
+    def make(
+        cls,
+        axes,
+        config: str = "msa-omu-2",
+        workloads: Sequence[str] = ("streamcluster",),
+        cores: Sequence[int] = (16,),
+        scale: float = 1.0,
+        seed: int = 2015,
+        name: str = "",
+    ) -> "SpaceSpec":
+        """Build (and validate) a space from friendly types: ``axes``
+        may be a mapping ``{name: values}`` or a sequence of pairs;
+        scalars are promoted to one-value axes."""
+        if isinstance(axes, dict):
+            pairs = tuple((k, _as_tuple(v)) for k, v in axes.items())
+        else:
+            pairs = tuple((k, _as_tuple(v)) for k, v in axes)
+        space = cls(
+            axes=pairs,
+            config=config,
+            workloads=tuple(workloads),
+            cores=tuple(int(c) for c in cores),
+            scale=float(scale),
+            seed=int(seed),
+            name=name,
+        )
+        space.validate()
+        return space
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every axis, value, workload, and core count against the
+        live registries -- a typo'd field name or an impossible value
+        fails here, not deep inside a worker process."""
+        from repro.harness.configs import machine_params
+        from repro.harness.jobs import resolve_factory
+
+        if not self.axes:
+            raise ConfigError("a design space needs at least one axis")
+        names = [name for name, _ in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate axis names in {names}")
+        for name in names:
+            if name in _FORBIDDEN_AXES:
+                raise ConfigError(
+                    f"axis {name!r} is not allowed: core counts are a "
+                    "grid dimension (cores=...) and seeds are pinned "
+                    "per space (seed=...)"
+                )
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be > 0, got {self.scale}")
+        if not self.workloads:
+            raise ConfigError("a design space needs at least one workload")
+        for workload in self.workloads:
+            resolve_factory(workload)  # raises ConfigError on unknowns
+        for n in self.cores:
+            machine_params(self.config, n_cores=n, seed=self.seed)[
+                0
+            ].validate()
+        base, _library = machine_params(
+            self.config, n_cores=self.cores[0], seed=self.seed
+        )
+        for name, values in self.axes:
+            if not values:
+                raise ConfigError(f"axis {name!r} has no values")
+            if len(set(map(repr, values))) != len(values):
+                raise ConfigError(f"axis {name!r} repeats a value")
+            for value in values:
+                # Applying + validating catches wrong names, wrong
+                # types, and out-of-range values in one shot.
+                try:
+                    base.with_overrides({name: value}).validate()
+                except ConfigError:
+                    raise
+                except (TypeError, ValueError) as exc:
+                    raise ConfigError(
+                        f"axis {name!r} value {value!r} is invalid: {exc}"
+                    ) from None
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def designs(self) -> List[Dict[str, Any]]:
+        """Every design as an ordered ``{axis: value}`` dict, in
+        deterministic cartesian-product order (first axis slowest)."""
+        names = [name for name, _ in self.axes]
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(v for _, v in self.axes))
+        ]
+
+    def n_designs(self) -> int:
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def resolved(self, design: Dict[str, Any], cores: int):
+        """The :class:`MachineParams` a design runs with at ``cores``
+        (what the cost model prices)."""
+        from repro.harness.configs import machine_params
+
+        base, _library = machine_params(
+            self.config, n_cores=cores, seed=self.seed
+        )
+        return base.with_overrides(design)
+
+    # ------------------------------------------------------------------
+    # Serialization / identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "config": self.config,
+            "workloads": list(self.workloads),
+            "cores": list(self.cores),
+            "scale": self.scale,
+            "seed": self.seed,
+            "axes": [[name, list(values)] for name, values in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpaceSpec":
+        """Inverse of :meth:`to_dict` (the ``--space FILE`` format);
+        validates the result."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"space document must be an object, got {type(data).__name__}"
+            )
+        axes = data.get("axes")
+        if not isinstance(axes, (list, dict)) or not axes:
+            raise ConfigError(
+                "space document needs a non-empty 'axes' mapping or "
+                "[[name, [values...]], ...] list"
+            )
+        try:
+            return cls.make(
+                axes,
+                config=data.get("config", "msa-omu-2"),
+                workloads=data.get("workloads", ("streamcluster",)),
+                cores=data.get("cores", (16,)),
+                scale=data.get("scale", 1.0),
+                seed=data.get("seed", 2015),
+                name=data.get("name", ""),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed space document: {exc}") from None
+
+    def space_hash(self) -> str:
+        """12-hex content hash over everything that affects which points
+        run (the label ``name`` is excluded): same space ⇒ same hash ⇒
+        same DSE document file, which is what makes re-runs resume."""
+        payload = self.to_dict()
+        payload.pop("name")
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+    def describe(self) -> str:
+        axes = " x ".join(
+            f"{name}[{len(values)}]" for name, values in self.axes
+        )
+        return (
+            f"{self.name or 'space'}: {axes} = {self.n_designs()} designs "
+            f"on {self.config}, {len(self.workloads)} workload(s), "
+            f"cores {list(self.cores)}, scale {self.scale:g}"
+        )

@@ -1,0 +1,188 @@
+"""Search strategies: which designs run, at what scale, in what order.
+
+Every strategy speaks the same rung protocol, driven by
+:func:`repro.dse.explore.explore`:
+
+* :meth:`Strategy.first_rung` returns the opening :class:`Rung` -- a
+  set of designs and the workload scale to evaluate them at;
+* after the rung's sweeps finish, :meth:`Strategy.next_rung` receives
+  the per-design scores (geomean speedup over the baseline) and either
+  returns the next rung or ``None`` to stop.  The last rung's designs
+  are the candidates the Pareto front is drawn from.
+
+``grid`` runs every design once at full scale; ``random`` runs a
+seeded sample of them (for spaces too large to enumerate); ``halving``
+is successive halving: start *all* designs at a cheap scale
+(``scale / eta**(rungs-1)``), keep the top ``1/eta`` fraction by
+score, re-run the survivors at the next scale, and repeat until the
+final rung runs at full scale.  Because every (design, scale) pair is
+an ordinary cached sweep point, the early cheap rungs of a halving run
+are shared verbatim with any other search that visits them.
+
+All strategies are deterministic: same space + same strategy arguments
+produce the same rung sequence (``random`` derives its RNG purely from
+its ``seed``; halving breaks score ties by design order).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.dse.space import SpaceSpec
+
+
+@dataclass
+class Rung:
+    """One evaluation round: ``designs`` at workload ``scale``."""
+
+    index: int
+    scale: float
+    designs: List[Dict[str, Any]]
+
+    def describe(self) -> str:
+        return (
+            f"rung {self.index}: {len(self.designs)} design(s) "
+            f"at scale {self.scale:g}"
+        )
+
+
+class Strategy:
+    """Base protocol; subclasses set ``name`` and the rung logic."""
+
+    name = "base"
+
+    def first_rung(self, space: SpaceSpec) -> Rung:
+        raise NotImplementedError
+
+    def next_rung(
+        self, space: SpaceSpec, rung: Rung, scores: Sequence[float]
+    ) -> Optional[Rung]:
+        return None
+
+    def describe(self) -> str:
+        return self.name
+
+
+class GridStrategy(Strategy):
+    """Exhaustive: every design, one rung, full scale."""
+
+    name = "grid"
+
+    def first_rung(self, space: SpaceSpec) -> Rung:
+        return Rung(index=0, scale=space.scale, designs=space.designs())
+
+
+class RandomStrategy(Strategy):
+    """Seeded uniform sample of ``n`` designs, one rung, full scale.
+
+    Sampling is without replacement and driven entirely by ``seed``
+    (falling back to the space's seed), so the same call explores the
+    same designs -- and therefore replays entirely from cache.
+    """
+
+    name = "random"
+
+    def __init__(self, n: int = 8, seed: Optional[int] = None):
+        if n < 1:
+            raise ConfigError(f"random strategy needs n >= 1, got {n}")
+        self.n = n
+        self.seed = seed
+
+    def first_rung(self, space: SpaceSpec) -> Rung:
+        designs = space.designs()
+        seed = space.seed if self.seed is None else self.seed
+        if self.n < len(designs):
+            rng = random.Random(seed)
+            designs = rng.sample(designs, self.n)
+        return Rung(index=0, scale=space.scale, designs=designs)
+
+    def describe(self) -> str:
+        return f"random(n={self.n})"
+
+
+class HalvingStrategy(Strategy):
+    """Successive halving across ``rungs`` rungs with reduction ``eta``.
+
+    Rung *i* (0-based) runs at ``space.scale / eta**(rungs-1-i)``, so
+    the last rung is exactly full scale.  Survivors are the top
+    ``ceil(n / eta)`` designs by score; ties keep the earlier design
+    (stable sort over design order), which makes promotion
+    deterministic.
+    """
+
+    name = "halving"
+
+    def __init__(self, eta: int = 2, rungs: int = 3):
+        if eta < 2:
+            raise ConfigError(f"halving needs eta >= 2, got {eta}")
+        if rungs < 1:
+            raise ConfigError(f"halving needs rungs >= 1, got {rungs}")
+        self.eta = eta
+        self.rungs = rungs
+
+    def _scale(self, space: SpaceSpec, index: int) -> float:
+        return space.scale / (self.eta ** (self.rungs - 1 - index))
+
+    def first_rung(self, space: SpaceSpec) -> Rung:
+        return Rung(
+            index=0, scale=self._scale(space, 0), designs=space.designs()
+        )
+
+    def next_rung(
+        self, space: SpaceSpec, rung: Rung, scores: Sequence[float]
+    ) -> Optional[Rung]:
+        if rung.index + 1 >= self.rungs:
+            return None
+        if len(scores) != len(rung.designs):
+            raise ConfigError(
+                f"halving rung {rung.index}: got {len(scores)} scores "
+                f"for {len(rung.designs)} designs"
+            )
+        keep = max(1, math.ceil(len(rung.designs) / self.eta))
+        order = sorted(
+            range(len(rung.designs)), key=lambda i: -scores[i]
+        )
+        survivors = sorted(order[:keep])  # restore design order
+        return Rung(
+            index=rung.index + 1,
+            scale=self._scale(space, rung.index + 1),
+            designs=[rung.designs[i] for i in survivors],
+        )
+
+    def describe(self) -> str:
+        return f"halving(eta={self.eta}, rungs={self.rungs})"
+
+
+#: Registry for the CLI / ``explore(strategy="name")`` spelling.
+STRATEGIES = {
+    "grid": GridStrategy,
+    "random": RandomStrategy,
+    "halving": HalvingStrategy,
+}
+
+
+def resolve_strategy(strategy, **kwargs) -> Strategy:
+    """Accept a name, a class, or an instance; reject the unknown."""
+    if isinstance(strategy, Strategy):
+        if kwargs:
+            raise ConfigError(
+                "strategy arguments only apply when resolving by name"
+            )
+        return strategy
+    if isinstance(strategy, type) and issubclass(strategy, Strategy):
+        return strategy(**kwargs)
+    if isinstance(strategy, str):
+        if strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {strategy!r}; "
+                f"choose from {sorted(STRATEGIES)}"
+            )
+        return STRATEGIES[strategy](**kwargs)
+    raise ConfigError(
+        f"strategy must be a name, Strategy class, or instance, "
+        f"got {type(strategy).__name__}"
+    )

@@ -168,12 +168,19 @@ class JobSpec:
             raise ConfigError(f"malformed job spec field: {exc}") from None
 
     def resolved_params(self):
-        """The final (MachineParams, library) this spec will run with."""
+        """The final (MachineParams, library) this spec will run with.
+
+        ``params`` entries may be top-level :class:`MachineParams`
+        fields (dataclass values) or dotted scalar paths like
+        ``"msa.entries_per_tile"`` -- the dotted form is pure JSON, so
+        such specs cross the service wire and cache cleanly (this is
+        what :mod:`repro.dse` design points use).
+        """
         params, library = machine_params(
             self.config, n_cores=self.cores, seed=self.seed
         )
         if self.params:
-            params = params.with_(**self.params)
+            params = params.with_overrides(self.params)
         return params, library
 
     def key(self) -> str:

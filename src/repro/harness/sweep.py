@@ -17,7 +17,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigError, SimulationError
 from repro.harness.configs import build_machine
 from repro.harness.jobs import Engine, JobSpec
 from repro.harness.runner import RunResult, run_workload
@@ -48,6 +48,8 @@ def sweep(
     progress=False,
     engine: Optional[Engine] = None,
     checkers: Sequence[str] = (),
+    params: Optional[Dict] = None,
+    fault_plan=None,
 ) -> List[SweepPoint]:
     """Run every (config, workload, cores) combination.
 
@@ -57,12 +59,25 @@ def sweep(
     pre-built ``engine``); per-point results are deterministic, so the
     parallel path returns bit-identical results to the serial one.
 
+    ``params`` applies :class:`MachineParams` overrides to every point
+    of the grid -- top-level fields or dotted scalar paths like
+    ``"msa.entries_per_tile"`` (see ``MachineParams.with_overrides``);
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) runs the whole
+    grid under fault injection.  Both are part of each point's cache
+    key, so overridden grids never collide with plain ones.
+
     ``machine_hook(machine)`` runs after machine construction (for
     enabling tracing, poking parameters, ...).  Hooks see the live
     machine, which cannot cross a process boundary or a result cache,
     so a hooked sweep always runs serially in-process and uncached.
     """
     if machine_hook is not None:
+        if params or fault_plan is not None:
+            raise ConfigError(
+                "machine_hook sweeps run through the legacy in-process "
+                "path, which ignores params/fault_plan; apply overrides "
+                "inside the hook instead"
+            )
         return _sweep_hooked(
             configs, workload_factories, cores, scale, seed, machine_hook,
             checkers,
@@ -78,8 +93,10 @@ def sweep(
                         cores=n,
                         scale=scale,
                         seed=seed,
+                        params=dict(params) if params else {},
                         factory=factory,
                         checkers=tuple(checkers),
+                        fault_plan=fault_plan,
                     )
                 )
     if engine is None:
@@ -208,6 +225,19 @@ BASE_COLUMNS = (
 CSV_COLUMNS = BASE_COLUMNS + ("speedup",)
 
 
+def _format_extra(value) -> str:
+    """One extras cell: floats to 4 places, missing values empty, and
+    everything else (ints, bools, strings from annotators) verbatim --
+    a sparse or mixed-type extras column must not crash the export."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
 def to_csv(points: Iterable[SweepPoint], path: Optional[str] = None) -> str:
     """Serialize sweep points to CSV; returns the text (and writes to
     ``path`` when given).
@@ -232,8 +262,7 @@ def to_csv(points: Iterable[SweepPoint], path: Optional[str] = None) -> str:
             f"{coverage:.4f}" if coverage is not None else "",
         ]
         for key in extra_keys:
-            value = p.extras.get(key)
-            row.append(f"{value:.4f}" if value is not None else "")
+            row.append(_format_extra(p.extras.get(key)))
         writer.writerow(row)
     text = buffer.getvalue()
     if path is not None:

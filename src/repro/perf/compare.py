@@ -40,7 +40,8 @@ class CompareResult:
     lines: List[str] = field(default_factory=list)
     mode_mismatch: str = ""
     """Non-empty when the two documents were recorded under different
-    simulation-kernel modes (e.g. ``legacy -> sharded``): the compare is
+    simulation-kernel modes; names both documents and their modes (e.g.
+    ``old.json is 'legacy', new.json is 'sharded'``).  The compare is
     refused outright, because wall-clock numbers from different kernels
     are not a regression signal for each other."""
 
@@ -94,7 +95,13 @@ def compare(
     old_mode = old.get("scheduler_mode")
     new_mode = new.get("scheduler_mode")
     if old_mode and new_mode and old_mode != new_mode:
-        result.mode_mismatch = f"{old_mode} -> {new_mode}"
+        # Name both documents, not just the modes: the operator's next
+        # step is re-recording one specific file.
+        old_name = old.get("source_path") or old.get("label") or "baseline"
+        new_name = new.get("source_path") or new.get("label") or "new"
+        result.mode_mismatch = (
+            f"{old_name} is {old_mode!r}, {new_name} is {new_mode!r}"
+        )
         return result
 
     old_by_key = {p["key"]: p for p in old.get("points", ())}

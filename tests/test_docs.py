@@ -25,6 +25,12 @@ class TestRepoDocsAreClean:
     def test_docs_doctest_snippets_run(self):
         assert check_docs.run_doctests() == []
 
+    def test_no_cli_verb_drift(self):
+        assert check_docs.check_cli_verbs() == []
+
+    def test_no_knob_drift(self):
+        assert check_docs.check_knobs() == []
+
     def test_index_lists_every_doc(self):
         index = (check_docs.REPO / "docs" / "INDEX.md").read_text()
         for doc in (check_docs.REPO / "docs").glob("*.md"):
@@ -84,6 +90,36 @@ class TestCheckerCatchesProblems:
         doc.write_text("```python\nthis_would_raise()\n```\n")
         assert list(check_docs.doctest_blocks([doc])) == []
         assert check_docs.run_doctests([doc]) == []
+
+    def test_stale_cli_verb_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("run `python -m repro frobnicate` to frob")
+        errors = check_docs.check_cli_verbs([doc])
+        assert len(errors) == 1
+        assert "frobnicate" in errors[0]
+
+    def test_live_verbs_come_from_the_parser(self, tmp_path):
+        verbs = check_docs.live_verbs()
+        for verb in ("run", "sweep", "dse", "report", "serve"):
+            assert verb in verbs
+        # A doc mentioning only live verbs produces no errors.
+        doc = tmp_path / "ok.md"
+        doc.write_text(
+            " and ".join(f"`python -m repro {v}`" for v in sorted(verbs))
+        )
+        assert check_docs.check_cli_verbs([doc]) == []
+
+    def test_unknown_knob_detected(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("set REPRO_NO_SUCH_KNOB=1 to speed things up")
+        errors = check_docs.check_knobs([doc])
+        assert len(errors) == 1
+        assert "REPRO_NO_SUCH_KNOB" in errors[0]
+
+    def test_known_knob_passes(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text("export REPRO_WORKERS=4 and REPRO_CACHE_DIR=/tmp")
+        assert check_docs.check_knobs([doc]) == []
 
 
 class TestPublicApiDocstrings:

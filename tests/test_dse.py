@@ -1,0 +1,336 @@
+"""repro.dse: spaces, strategies, cost model, Pareto extraction, and
+the explore driver's caching contract.
+
+The end-to-end tests use a deliberately tiny grid (4 cores, scale 0.2,
+one kernel) so a full explore() is a handful of sub-second runs; the
+properties under test -- determinism, survivor selection, zero
+re-evaluation on resume -- do not depend on grid size.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import api
+from repro.common.errors import ConfigError
+from repro.dse import (
+    CostModel,
+    DseResult,
+    GridStrategy,
+    HalvingStrategy,
+    RandomStrategy,
+    SpaceSpec,
+    dominates,
+    explore,
+    pareto_front,
+    pareto_indices,
+    resolve_strategy,
+)
+from repro.harness.configs import machine_params
+
+
+def tiny_space(**over):
+    """A 2-design space cheap enough for end-to-end tests."""
+    defaults = dict(
+        config="msa-omu-2",
+        workloads=("streamcluster",),
+        cores=(4,),
+        scale=0.2,
+    )
+    defaults.update(over)
+    return SpaceSpec.make({"msa.entries_per_tile": [1, 2]}, **defaults)
+
+
+class TestSpaceSpec:
+    def test_designs_are_the_cartesian_product_first_axis_slowest(self):
+        space = SpaceSpec.make(
+            {"msa.entries_per_tile": [1, 2], "omu.enabled": [True, False]}
+        )
+        assert space.designs() == [
+            {"msa.entries_per_tile": 1, "omu.enabled": True},
+            {"msa.entries_per_tile": 1, "omu.enabled": False},
+            {"msa.entries_per_tile": 2, "omu.enabled": True},
+            {"msa.entries_per_tile": 2, "omu.enabled": False},
+        ]
+
+    def test_scalar_axis_values_are_promoted(self):
+        space = SpaceSpec.make({"msa.entries_per_tile": 4})
+        assert space.designs() == [{"msa.entries_per_tile": 4}]
+
+    @pytest.mark.parametrize("axis", ["n_cores", "seed"])
+    def test_grid_dimensions_are_not_axes(self, axis):
+        with pytest.raises(ConfigError):
+            SpaceSpec.make({axis: [1, 2]})
+
+    def test_unknown_workload_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            SpaceSpec.make(
+                {"msa.entries_per_tile": [1]}, workloads=("no_such_kernel",)
+            )
+
+    def test_unknown_axis_name_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            SpaceSpec.make({"msa.no_such_field": [1, 2]})
+
+    def test_non_square_core_count_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            tiny_space(cores=(6,))
+
+    def test_hash_ignores_the_name_label_only(self):
+        a = tiny_space(name="one")
+        b = tiny_space(name="two")
+        assert a.space_hash() == b.space_hash()
+        assert a.space_hash() != tiny_space(scale=0.3).space_hash()
+
+    def test_round_trips_through_dict(self):
+        space = tiny_space(name="rt")
+        again = SpaceSpec.from_dict(space.to_dict())
+        assert again == space
+        assert again.space_hash() == space.space_hash()
+
+    def test_resolved_applies_the_design(self):
+        space = tiny_space()
+        params = space.resolved({"msa.entries_per_tile": 1}, 4)
+        assert params.msa.entries_per_tile == 1
+        assert params.n_cores == 4
+
+
+class TestStrategies:
+    def test_grid_runs_every_design_at_full_scale(self):
+        space = tiny_space(scale=0.7)
+        rung = GridStrategy().first_rung(space)
+        assert rung.designs == space.designs()
+        assert rung.scale == 0.7
+        assert GridStrategy().next_rung(space, rung, [1.0, 1.0]) is None
+
+    def test_random_sample_is_a_pure_function_of_the_seed(self):
+        space = SpaceSpec.make({"msa.entries_per_tile": [1, 2, 4]})
+        a = RandomStrategy(n=2, seed=7).first_rung(space).designs
+        b = RandomStrategy(n=2, seed=7).first_rung(space).designs
+        assert a == b
+        assert len(a) == 2
+        for design in a:
+            assert design in space.designs()
+        # Unseeded, the space's own seed drives the sample.
+        c = RandomStrategy(n=2).first_rung(space).designs
+        assert c == RandomStrategy(n=2).first_rung(space).designs
+
+    def test_random_n_at_least_space_size_keeps_everything(self):
+        space = tiny_space()
+        rung = RandomStrategy(n=99).first_rung(space)
+        assert rung.designs == space.designs()
+
+    def test_halving_scale_ladder_ends_at_full_scale(self):
+        space = tiny_space(scale=1.0)
+        strat = HalvingStrategy(eta=2, rungs=3)
+        rung = strat.first_rung(space)
+        scales = [rung.scale]
+        while True:
+            rung = strat.next_rung(space, rung, [1.0] * len(rung.designs))
+            if rung is None:
+                break
+            scales.append(rung.scale)
+        assert scales == [0.25, 0.5, 1.0]
+
+    def test_halving_promotes_top_scores_and_breaks_ties_by_order(self):
+        space = SpaceSpec.make({"msa.entries_per_tile": [1, 2, 4, 8]})
+        strat = HalvingStrategy(eta=2, rungs=2)
+        rung = strat.first_rung(space)
+        # Tie between designs 0 and 2: the stable sort keeps design 0.
+        nxt = strat.next_rung(space, rung, [1.5, 1.0, 1.5, 0.5])
+        assert [d["msa.entries_per_tile"] for d in nxt.designs] == [1, 4]
+        assert strat.next_rung(space, nxt, [1.0, 1.0]) is None
+
+    def test_halving_survivor_count_is_ceil_n_over_eta(self):
+        space = SpaceSpec.make({"msa.entries_per_tile": [1, 2, 4]})
+        strat = HalvingStrategy(eta=2, rungs=2)
+        rung = strat.first_rung(space)
+        nxt = strat.next_rung(space, rung, [3.0, 2.0, 1.0])
+        assert len(nxt.designs) == math.ceil(3 / 2)
+
+    def test_halving_rejects_score_design_mismatch(self):
+        space = tiny_space()
+        strat = HalvingStrategy(eta=2, rungs=2)
+        with pytest.raises(ConfigError):
+            strat.next_rung(space, strat.first_rung(space), [1.0])
+
+    def test_resolve_strategy_accepts_name_class_and_instance(self):
+        assert isinstance(resolve_strategy("grid"), GridStrategy)
+        assert resolve_strategy("halving", rungs=2).rungs == 2
+        assert isinstance(resolve_strategy(RandomStrategy), RandomStrategy)
+        inst = HalvingStrategy()
+        assert resolve_strategy(inst) is inst
+
+    def test_resolve_strategy_rejects_unknown_and_stray_kwargs(self):
+        with pytest.raises(ConfigError):
+            resolve_strategy("annealing")
+        with pytest.raises(ConfigError):
+            resolve_strategy(GridStrategy(), rungs=2)
+
+
+class TestPareto:
+    def test_dominated_points_are_dropped(self):
+        pts = [
+            {"speedup": 2.0, "cost": 100.0},
+            {"speedup": 1.5, "cost": 40.0},
+            {"speedup": 1.4, "cost": 90.0},  # dominated by both
+        ]
+        objs = (("speedup", "max"), ("cost", "min"))
+        assert pareto_indices(pts, objs) == [0, 1]
+        assert pareto_front(pts, objs) == pts[:2]
+
+    def test_exact_ties_all_survive(self):
+        pts = [{"s": 1.0, "c": 5.0}, {"s": 1.0, "c": 5.0}]
+        assert pareto_indices(pts, (("s", "max"), ("c", "min"))) == [0, 1]
+
+    def test_degenerate_single_objective(self):
+        pts = [{"s": 1.0}, {"s": 3.0}, {"s": 2.0}]
+        assert pareto_indices(pts, (("s", "max"),)) == [1]
+        assert pareto_indices(pts, (("s", "min"),)) == [0]
+
+    def test_missing_values_rank_worst(self):
+        pts = [{"s": 1.0, "c": 5.0}, {"s": None, "c": 5.0},
+               {"s": float("nan"), "c": 5.0}]
+        assert pareto_indices(pts, (("s", "max"), ("c", "min"))) == [0]
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ConfigError):
+            pareto_indices([{"s": 1.0}], ())
+
+    def test_dominates_is_strict_over_signed_vectors(self):
+        assert dominates((2.0, 5.0), (1.0, 5.0))
+        assert not dominates((1.0, 5.0), (1.0, 5.0))  # equal: no
+        assert not dominates((2.0, 4.0), (1.0, 5.0))  # trade-off: no
+
+
+class TestCostModel:
+    def test_msa_omu_2_breakdown_matches_hand_arithmetic(self):
+        params, _ = machine_params("msa-omu-2", 16)
+        model = CostModel()
+        # Entry = 46 tag + 4 FSM + 16x1 HWQueue bits + 8 aux = 74 bits;
+        # 16 tiles x 2 entries; OMU = 16 x 4 counters x 8 bits.
+        breakdown = model.breakdown(params)
+        assert breakdown["msa_bits"] == 16 * 2 * 74
+        assert breakdown["omu_bits"] == 16 * 4 * 8
+        assert breakdown["noc_links"] == 2 * 4 * 3
+        assert breakdown["total"] == (
+            breakdown["msa_bits"]
+            + breakdown["omu_bits"]
+            + breakdown["noc_links"] * model.link_bits
+        )
+
+    def test_software_configs_pay_only_the_mesh(self):
+        params, _ = machine_params("pthread", 16)
+        breakdown = CostModel().breakdown(params)
+        assert breakdown["msa_bits"] == 0
+        assert breakdown["omu_bits"] == 0
+        assert breakdown["total"] == 24 * CostModel().link_bits
+
+    def test_msa_inf_is_charged_the_upper_bound(self):
+        params, _ = machine_params("msa-inf", 16)
+        assert params.msa.entries_per_tile is None
+        assert CostModel().breakdown(params)["msa_bits"] == 16 * 64 * 74
+
+    def test_queue_bits_grow_with_core_count(self):
+        small, _ = machine_params("msa-omu-2", 16)
+        large, _ = machine_params("msa-omu-2", 64)
+        model = CostModel()
+        assert model.entry_bits(large) > model.entry_bits(small)
+
+    def test_round_trips_through_dict(self):
+        model = CostModel(inf_entries=32, link_bits=128.0)
+        assert CostModel.from_dict(model.to_dict()) == model
+
+
+class TestExplore:
+    def test_grid_explore_end_to_end(self, tmp_path):
+        space = tiny_space()
+        result = explore(
+            space, "grid", chaos_rate=0.0, cache_dir=str(tmp_path)
+        )
+        assert len(result.records) == 2
+        assert all(r.final for r in result.records)
+        assert result.pareto_records  # a non-empty front always exists
+        assert result.rung_sizes == [2]
+        assert all(r.speedup > 0 for r in result.records)
+        assert all(r.cost > 0 for r in result.records)
+        # The document landed at the content-hash path and round-trips.
+        assert result.path is not None
+        loaded = DseResult.load(result.path)
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_rerun_is_pure_cache_no_reevaluation(self, tmp_path):
+        space = tiny_space()
+        first = explore(
+            space, "grid", chaos_rate=0.0, cache_dir=str(tmp_path)
+        )
+        assert first.stats.executed > 0
+        again = explore(
+            space, "grid", chaos_rate=0.0, cache_dir=str(tmp_path)
+        )
+        assert again.stats.executed == 0
+        assert again.stats.hit_rate == 1.0
+        assert [r.speedup for r in again.records] == [
+            r.speedup for r in first.records
+        ]
+
+    def test_halving_records_eliminated_designs_outside_the_front(
+        self, tmp_path
+    ):
+        space = tiny_space()
+        result = explore(
+            space, "halving", rungs=2, chaos_rate=0.0,
+            cache_dir=str(tmp_path),
+        )
+        assert result.rung_sizes == [2, 1]
+        finals = result.final_records
+        assert len(finals) == 1
+        eliminated = [r for r in result.records if not r.final]
+        assert len(eliminated) == 1
+        assert eliminated[0].rung == 0
+        assert not eliminated[0].pareto
+
+    def test_chaos_pass_scores_final_survivors(self, tmp_path):
+        space = tiny_space()
+        result = explore(
+            space, "grid", chaos_rate=0.05, cache_dir=str(tmp_path)
+        )
+        assert result.objectives() == (
+            ("speedup", "max"), ("cost", "min"), ("chaos", "min")
+        )
+        assert all(r.chaos is not None for r in result.final_records)
+
+    def test_chaos_objective_is_refused_with_a_server(self):
+        with pytest.raises(ConfigError):
+            explore(tiny_space(), server="http://127.0.0.1:1", chaos_rate=0.02)
+
+    def test_csv_covers_axes_and_objectives(self, tmp_path):
+        result = explore(
+            tiny_space(), "grid", chaos_rate=0.0, cache_dir=str(tmp_path)
+        )
+        out = tmp_path / "dse.csv"
+        text = result.to_csv(str(out))
+        assert out.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("msa.entries_per_tile,speedup,cost")
+        assert len(lines) == 1 + len(result.records)
+        assert "" not in lines[1].split(",")[:3]  # no holes in objectives
+
+    def test_api_dse_accepts_a_bare_axes_mapping(self, tmp_path):
+        result = api.dse(
+            {"msa.entries_per_tile": [1, 2]},
+            config="msa-omu-2",
+            workloads=("streamcluster",),
+            cores=(4,),
+            scale=0.2,
+            chaos_rate=0.0,
+            cache_dir=str(tmp_path),
+        )
+        assert len(result.records) == 2
+        # The persisted document is discoverable for the HTML report.
+        docs = list((tmp_path / "dse").glob("*.json"))
+        assert len(docs) == 1
+        assert json.loads(docs[0].read_text())["schema"] == "repro.dse/1"

@@ -2,7 +2,7 @@
 """Documentation hygiene checker (run by the CI docs job and
 tests/test_docs.py).
 
-Three passes over README.md and docs/*.md:
+Five passes over README.md and docs/*.md:
 
 1. **Links** -- every relative markdown link target must exist on disk
    (anchors are stripped; external http(s)/mailto links are skipped).
@@ -12,6 +12,12 @@ Three passes over README.md and docs/*.md:
    fail.
 3. **Orphans** -- every file under docs/ must be reachable from
    docs/INDEX.md.
+4. **CLI verbs** -- every ``python -m repro <verb>`` the docs mention
+   must exist in the live argparse tree, and every live subcommand
+   must be documented somewhere (docs drift in both directions fails).
+5. **REPRO_ knobs** -- every ``REPRO_*`` variable the docs mention
+   must exist in ``repro.common.config.KNOBS``, and every knob must
+   appear in docs/SERVICE.md's knob table.
 
 With --doctest (the default), fenced ```python blocks that contain
 doctest prompts (>>>) are additionally executed with `doctest`, so the
@@ -109,6 +115,91 @@ def check_orphans() -> List[str]:
     return errors
 
 
+#: ``python -m repro <verb>`` mentions (verbs are lowercase words with
+#: optional dashes; placeholders like ``<command>`` don't match).
+_VERB_RE = re.compile(r"python -m repro\s+([a-z][a-z0-9-]*)")
+
+#: Environment-variable mentions of the repro knob namespace.
+_KNOB_RE = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*\b")
+
+
+def _import_repro():
+    """Make the package importable even when PYTHONPATH=src is unset."""
+    src = str(REPO / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def live_verbs() -> set:
+    """Subcommand names of the live ``python -m repro`` argparse tree
+    (read from the parser itself, not a hand-maintained list)."""
+    _import_repro()
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        if action.choices:
+            return set(action.choices)
+    return set()
+
+
+def check_cli_verbs(files=None) -> List[str]:
+    """Cross-check documented ``python -m repro`` verbs against the
+    parser, in both directions: a documented verb that does not parse
+    is stale docs; a live verb no doc mentions is undocumented UI."""
+    verbs = live_verbs()
+    errors = []
+    documented: set = set()
+    for doc in files or doc_files():
+        text = doc.read_text()
+        for match in _VERB_RE.finditer(text):
+            verb = match.group(1)
+            documented.add(verb)
+            if verb not in verbs:
+                errors.append(
+                    f"{_rel(doc)}: documents `python -m repro {verb}`, "
+                    f"which is not a live subcommand (have: "
+                    f"{', '.join(sorted(verbs))})"
+                )
+    if files is None:
+        for verb in sorted(verbs - documented):
+            errors.append(
+                f"`python -m repro {verb}` exists but no doc mentions it "
+                "(add it to README.md or a docs/ page)"
+            )
+    return errors
+
+
+def check_knobs(files=None) -> List[str]:
+    """Cross-check documented ``REPRO_*`` variables against
+    ``repro.common.config.KNOBS``, in both directions; the full knob
+    table must live in docs/SERVICE.md."""
+    _import_repro()
+    from repro.common.config import KNOBS
+
+    known = {knob.env for knob in KNOBS.values()}
+    errors = []
+    for doc in files or doc_files():
+        text = doc.read_text()
+        for var in sorted(set(_KNOB_RE.findall(text))):
+            if var not in known:
+                errors.append(
+                    f"{_rel(doc)}: documents {var}, which is not a knob "
+                    f"in repro.common.config (have: {', '.join(sorted(known))})"
+                )
+    if files is None:
+        service = REPO / "docs" / "SERVICE.md"
+        table = service.read_text() if service.exists() else ""
+        for var in sorted(known):
+            if var not in table:
+                errors.append(
+                    f"docs/SERVICE.md: knob table is missing {var} "
+                    "(every repro.common.config knob must be documented "
+                    "there)"
+                )
+    return errors
+
+
 def doctest_blocks(files=None) -> Iterator[Tuple[Path, int, str]]:
     """Yield (doc, block_index, source) for python fences with >>> lines."""
     for doc in files or doc_files():
@@ -144,7 +235,13 @@ def main(argv=None) -> int:
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args(argv)
 
-    errors = check_links() + check_path_refs() + check_orphans()
+    errors = (
+        check_links()
+        + check_path_refs()
+        + check_orphans()
+        + check_cli_verbs()
+        + check_knobs()
+    )
     if not args.no_doctest:
         errors += run_doctests(verbose=args.verbose)
 
